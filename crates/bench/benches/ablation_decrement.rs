@@ -1,0 +1,34 @@
+//! Ablation: decrement-placement mode (DESIGN.md). `PerCopy` costs
+//! `P*(f+1)` overhead instructions and executes `f` decrements per
+//! register per iteration; `Bulk` costs `2*P` but requires guards with
+//! hardware copy offsets. This bench measures the *dynamic* cost
+//! difference on the VM; the static sizes are printed once.
+
+use cred_codegen::cred::cred_retime_unfold;
+use cred_codegen::DecMode;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_modes(c: &mut Criterion) {
+    let n = 5000u64;
+    let f = 4usize;
+    let mut group = c.benchmark_group("decrement_mode");
+    for (name, g) in cred_kernels::all_benchmarks().into_iter().take(3) {
+        let (r, _) = cred_bench::tuned_retiming(&g);
+        for mode in [DecMode::PerCopy, DecMode::Bulk] {
+            let p = cred_retime_unfold(&g, &r, f, n, mode);
+            println!(
+                "{name} f={f} {mode:?}: {} instructions, {} dynamic",
+                p.code_size(),
+                p.dynamic_size()
+            );
+            group.bench_function(format!("{name}/{mode:?}"), |b| {
+                b.iter(|| black_box(cred_vm::execute(black_box(&p)).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for the Table 2 experiment: retime-then-unfold plus
+//! CRED (per-copy decrements) at `f = 3`, `n = 101`, per DSP benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    for (name, g) in cred_kernels::all_benchmarks() {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(cred_bench::table2_row(name, black_box(&g), 3, 101)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for the Table 3 experiment: order comparison
+//! (unfold-retime vs retime-unfold vs CRED) on the Figure 8 DFG.
+
+use cred_codegen::DecMode;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let g = cred_kernels::chao_sha_fig8();
+    let mut group = c.benchmark_group("table3");
+    for f in [2usize, 3, 4] {
+        group.bench_function(format!("uf{f}"), |b| {
+            b.iter(|| {
+                black_box(cred_bench::compare_orders(
+                    black_box(&g),
+                    f,
+                    None,
+                    120,
+                    DecMode::Bulk,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

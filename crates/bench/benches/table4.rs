@@ -1,0 +1,29 @@
+//! Criterion bench for the Table 4 experiment: order comparison on the
+//! 4-stage lattice filter across unfolding factors.
+
+use cred_codegen::DecMode;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let g = cred_kernels::lattice_filter();
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(20); // the f = 4 unfolded lattice is a 104-node graph
+    for f in [2usize, 3, 4] {
+        group.bench_function(format!("uf{f}"), |b| {
+            b.iter(|| {
+                black_box(cred_bench::compare_orders(
+                    black_box(&g),
+                    f,
+                    None,
+                    96,
+                    DecMode::PerCopy,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

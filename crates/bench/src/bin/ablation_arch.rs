@@ -1,0 +1,48 @@
+//! Ablation: conditional-register architecture. The paper's machine model
+//! (TI C6x-style) pays explicit `setup` + decrement instructions —
+//! `f*L + 2P` (bulk) or `f*L + P(f+1)` (per-copy). An IA-64-style machine
+//! with rotating stage predicates decrements every conditional register in
+//! the loop branch (`br.ctop`), eliminating the decrements entirely:
+//! `f*L + P`. All three variants are VM-verified before measuring.
+
+use cred_bench::{print_table, tuned_retiming};
+use cred_codegen::cred::{cred_retime_unfold, cred_rotating};
+use cred_codegen::DecMode;
+use cred_kernels::all_benchmarks;
+use cred_vm::check_against_reference;
+
+fn main() {
+    let n = 101u64;
+    println!("Ablation: predication architecture (n = {n})\n");
+    for f in [1usize, 3] {
+        println!("--- unfolding factor f = {f} ---");
+        let mut rows = Vec::new();
+        for (name, g) in all_benchmarks() {
+            let (r, _) = tuned_retiming(&g);
+            let per = cred_retime_unfold(&g, &r, f, n, DecMode::PerCopy);
+            let bulk = cred_retime_unfold(&g, &r, f, n, DecMode::Bulk);
+            let rot = cred_rotating(&g, &r, f, n);
+            for p in [&per, &bulk, &rot] {
+                check_against_reference(&g, p).unwrap();
+            }
+            rows.push(vec![
+                name.to_string(),
+                format!("{}", r.register_count()),
+                format!("{}", per.code_size()),
+                format!("{}", bulk.code_size()),
+                format!("{}", rot.code_size()),
+            ]);
+        }
+        print_table(
+            &[
+                "Benchmark",
+                "P",
+                "per-copy",
+                "bulk (TI)",
+                "rotating (IA-64)",
+            ],
+            &rows,
+        );
+        println!();
+    }
+}

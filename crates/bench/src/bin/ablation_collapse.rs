@@ -1,0 +1,49 @@
+//! Ablation: total reduction (CRED, Theorem 4.3) vs the partial
+//! "code collapsing" the paper's reference \[4\] ships in the TMS320C6000
+//! flow — mask only the epilogue (keep the prologue straight-line) or
+//! only the prologue. Every variant is VM-verified before measuring.
+//!
+//! The half measures pay the full `2P` register overhead to remove only
+//! half the expansion, so they can break even or even lose to plain
+//! pipelining — the paper's "quality could not be guaranteed" complaint,
+//! quantified.
+
+use cred_bench::{print_table, tuned_retiming};
+use cred_codegen::collapse::{collapse_epilogue, collapse_prologue};
+use cred_codegen::cred::cred_pipelined;
+use cred_codegen::pipeline::pipelined_program;
+use cred_kernels::all_benchmarks;
+use cred_vm::check_against_reference;
+
+fn main() {
+    let n = 101u64;
+    println!("Ablation: partial collapsing vs total CRED (n = {n})\n");
+    let mut rows = Vec::new();
+    for (name, g) in all_benchmarks() {
+        let (r, _) = tuned_retiming(&g);
+        let pip = pipelined_program(&g, &r, n);
+        let epi = collapse_epilogue(&g, &r, n);
+        let pro = collapse_prologue(&g, &r, n);
+        let full = cred_pipelined(&g, &r, n);
+        for p in [&pip, &epi, &pro, &full] {
+            check_against_reference(&g, p).unwrap();
+        }
+        rows.push(vec![
+            name.to_string(),
+            pip.code_size().to_string(),
+            epi.code_size().to_string(),
+            pro.code_size().to_string(),
+            full.code_size().to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "Benchmark",
+            "pipelined",
+            "collapse-epi",
+            "collapse-pro",
+            "CRED (total)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! Regenerate Table 1: code size of the six DSP benchmarks before
+//! retiming, after rate-optimal retiming (software pipelining), and after
+//! CRED; registers needed; percent reduction.
+//!
+//! Every size is measured from generated code that is first executed and
+//! checked against the DFG recurrence (`cred-vm`). The paper's published
+//! cells are printed alongside for comparison (see EXPERIMENTS.md).
+
+use cred_bench::{print_table, table1_row};
+use cred_kernels::all_benchmarks;
+
+/// Paper cells: (orig, ret, cr, rgs, red%).
+const PAPER: &[(usize, usize, usize, usize, f64)] = &[
+    (8, 16, 12, 2, 25.0),
+    (11, 33, 17, 3, 48.5),
+    (15, 60, 23, 4, 61.7),
+    (34, 68, 40, 3, 41.2),
+    (26, 78, 32, 3, 59.0),
+    (27, 54, 31, 2, 42.6),
+];
+
+fn main() {
+    println!("Table 1: code size after retiming and registers needed");
+    println!("(measured | paper) — n = 101 used for VM verification\n");
+    let mut rows = Vec::new();
+    for ((name, g), paper) in all_benchmarks().iter().zip(PAPER) {
+        let r = table1_row(name, g, 101);
+        rows.push(vec![
+            r.name.clone(),
+            format!("{} | {}", r.orig, paper.0),
+            format!("{} | {}", r.retimed, paper.1),
+            format!("{} | {}", r.cred, paper.2),
+            format!("{} | {}", r.registers, paper.3),
+            format!("{:.1} | {:.1}", r.reduction, paper.4),
+            format!("{}", r.period),
+            format!("{}", r.m_r),
+        ]);
+    }
+    print_table(
+        &[
+            "Benchmark",
+            "Orig",
+            "Ret.",
+            "CR",
+            "Rgs",
+            "% Red.",
+            "period",
+            "M_r",
+        ],
+        &rows,
+    );
+}

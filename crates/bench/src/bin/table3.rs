@@ -1,0 +1,62 @@
+//! Regenerate Table 3: code size and iteration period of the Figure 8 DFG
+//! (non-unit-time nodes) under the two transformation orders and CRED, at
+//! unfolding factors 2–4.
+//!
+//! The paper fixes the performance per factor "to make a fair comparison";
+//! its iteration-period row is 20 / 19 / 13.5, i.e. unfolded-body cycle
+//! periods 40 / 57 / 54. We target the same periods against the
+//! reconstructed Figure 8 graph (see DESIGN.md) and use the bulk decrement
+//! accounting Table 3's own CR row decomposes into (`f*L + 2P`).
+
+use cred_bench::{compare_orders, print_table};
+use cred_codegen::DecMode;
+use cred_kernels::chao_sha_fig8;
+
+/// Paper cells per uf: (unfold-retime, retime-unfold, CR, iteration period).
+const PAPER: &[(usize, usize, usize, f64)] =
+    &[(20, 20, 14, 20.0), (30, 30, 19, 19.0), (40, 30, 24, 13.5)];
+
+fn main() {
+    let g = chao_sha_fig8();
+    // n divisible by 2, 3, 4 so no remainder code, matching the paper's
+    // remainder-free counts.
+    let n = 120u64;
+    println!("Table 3: code size and iteration period for the Figure 8 DFG (n = {n})");
+    println!("(measured | paper)\n");
+    // Rate-optimal periods per factor. The paper instead fixed looser
+    // periods (40/57/54 per unfolded body); on the reconstructed graph the
+    // looser targets need no retiming at all (see EXPERIMENTS.md), so the
+    // comparison is made at the tightest achievable performance.
+    let mut cols = Vec::new();
+    for (f, paper) in [2usize, 3, 4].into_iter().zip(PAPER) {
+        let c = compare_orders(&g, f, None, n, DecMode::Bulk);
+        cols.push((c, *paper));
+    }
+    let rows = vec![
+        std::iter::once("unfold-retime".to_string())
+            .chain(
+                cols.iter()
+                    .map(|(c, p)| format!("{} | {}", c.unfold_retime, p.0)),
+            )
+            .collect::<Vec<_>>(),
+        std::iter::once("retime-unfold".to_string())
+            .chain(
+                cols.iter()
+                    .map(|(c, p)| format!("{} | {}", c.retime_unfold, p.1)),
+            )
+            .collect(),
+        std::iter::once("retime-unfold-CR".to_string())
+            .chain(cols.iter().map(|(c, p)| format!("{} | {}", c.cred, p.2)))
+            .collect(),
+        std::iter::once("iteration period".to_string())
+            .chain(
+                cols.iter()
+                    .map(|(c, p)| format!("{} | {}", c.iteration_period, p.3)),
+            )
+            .collect(),
+        std::iter::once("registers (CR)".to_string())
+            .chain(cols.iter().map(|(c, _)| format!("{}", c.registers)))
+            .collect(),
+    ];
+    print_table(&["Approach", "uf=2", "uf=3", "uf=4"], &rows);
+}

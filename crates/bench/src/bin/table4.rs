@@ -1,0 +1,48 @@
+//! Regenerate Table 4: code size for the 4-stage lattice filter with the
+//! iteration period fixed to 8 (unfolded-body cycle period `8 * f`),
+//! comparing unfold-then-retime, retime-then-unfold, and CRED (per-copy
+//! decrement accounting, as Table 4's own CR row decomposes into
+//! `f*L + P*(f+1)`).
+
+use cred_bench::{compare_orders, print_table};
+use cred_codegen::DecMode;
+use cred_kernels::lattice_filter;
+
+/// Paper cells per uf: (unfold-retime, retime-unfold, CR).
+const PAPER: &[(usize, usize, usize)] = &[(156, 130, 61), (312, 156, 90), (416, 182, 119)];
+
+fn main() {
+    let g = lattice_filter();
+    let n = 96u64; // divisible by 2, 3, 4: no remainder code
+    println!("Table 4: code size for the 4-stage lattice, cycle period fixed to 8 (n = {n})");
+    println!("(measured | paper)\n");
+    let mut cols = Vec::new();
+    for (f, paper) in [2usize, 3, 4].into_iter().zip(PAPER) {
+        let c = compare_orders(&g, f, None, n, DecMode::PerCopy);
+        cols.push((c, *paper));
+    }
+    let rows = vec![
+        std::iter::once("unfold-retime".to_string())
+            .chain(
+                cols.iter()
+                    .map(|(c, p)| format!("{} | {}", c.unfold_retime, p.0)),
+            )
+            .collect::<Vec<_>>(),
+        std::iter::once("retime-unfold".to_string())
+            .chain(
+                cols.iter()
+                    .map(|(c, p)| format!("{} | {}", c.retime_unfold, p.1)),
+            )
+            .collect(),
+        std::iter::once("retime-unfold-CR".to_string())
+            .chain(cols.iter().map(|(c, p)| format!("{} | {}", c.cred, p.2)))
+            .collect(),
+        std::iter::once("registers (CR)".to_string())
+            .chain(cols.iter().map(|(c, _)| format!("{}", c.registers)))
+            .collect(),
+        std::iter::once("iteration period".to_string())
+            .chain(cols.iter().map(|(c, _)| format!("{}", c.iteration_period)))
+            .collect(),
+    ];
+    print_table(&["Approach", "uf=2", "uf=3", "uf=4"], &rows);
+}

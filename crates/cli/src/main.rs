@@ -1,0 +1,251 @@
+//! `credc` — drive the CRED framework from loop-kernel source files.
+//!
+//! ```text
+//! credc analyze  <file.loop>                      graph analyses
+//! credc reduce   <file.loop> [options]            generate + verify + print
+//! credc explore  <file.loop> [options]            design-space exploration
+//! credc schedule <file.loop> [--alu N] [--mul N]  rotation scheduling
+//! ```
+//!
+//! Options for `reduce`:
+//!   --n N           trip count (default 101)
+//!   --unfold F      unfolding factor (default 1)
+//!   --mode M        percopy | bulk (default bulk)
+//!   --print         print the generated programs
+//! Options for `explore`:
+//!   --budget L      code-size budget (instructions)
+//!   --registers P   conditional-register budget
+//!   --max-unfold F  largest factor to consider (default 4)
+
+use cred_codegen::pretty::render;
+use cred_codegen::DecMode;
+use cred_core::{CodeSizeReducer, ReducerConfig};
+use cred_dfg::{algo, Dfg};
+use cred_schedule::{list_schedule, rotation_schedule, FuConfig};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("credc: {msg}");
+    ExitCode::FAILURE
+}
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = if matches!(name, "print") {
+                    None
+                } else {
+                    Some(
+                        it.next()
+                            .ok_or_else(|| format!("--{name} needs a value"))?
+                            .clone(),
+                    )
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                return Err(format!("unexpected argument '{a}'"));
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number '{v}'")),
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Dfg, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    cred_lang::parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_analyze(g: &Dfg) {
+    println!(
+        "nodes: {}   edges: {}   delays: {}",
+        g.node_count(),
+        g.edge_count(),
+        g.total_delays()
+    );
+    println!(
+        "cycle period (unretimed): {}",
+        algo::cycle_period(g).unwrap()
+    );
+    match algo::iteration_bound(g) {
+        Some(b) => println!("iteration bound: {b} (= {:.3})", b.to_f64()),
+        None => println!("iteration bound: none (acyclic)"),
+    }
+    let opt = cred_retime::min_period_retiming(g);
+    println!("minimum cycle period by retiming: {}", opt.period);
+    let r = cred_retime::span::min_span_retiming(g, opt.period).unwrap();
+    let r = cred_retime::span::compact_values(g, opt.period, &r);
+    println!(
+        "M_r (pipeline depth): {}   conditional registers: {}",
+        r.max_value(),
+        r.register_count()
+    );
+    print!("retiming:");
+    for v in g.node_ids() {
+        print!(" {}={}", g.node(v).name, r.get(v));
+    }
+    println!();
+}
+
+fn cmd_reduce(g: Dfg, args: &Args) -> Result<(), String> {
+    let n = args.get_u64("n", 101)?;
+    if n > (1 << 40) {
+        return Err("--n too large (max 2^40 iterations)".into());
+    }
+    let f = args.get_u64("unfold", 1)? as usize;
+    if f < 1 {
+        return Err("--unfold must be at least 1".into());
+    }
+    let mode = match args.get("mode").unwrap_or("bulk") {
+        "bulk" => DecMode::Bulk,
+        "percopy" => DecMode::PerCopy,
+        m => return Err(format!("--mode: '{m}' (expected bulk|percopy)")),
+    };
+    let red = CodeSizeReducer::new(g)
+        .with_config(ReducerConfig {
+            unfold_factor: f,
+            trip_count: n,
+            dec_mode: mode,
+            verify: true,
+        })
+        .run()
+        .map_err(|e| format!("verification failed: {e}"))?;
+    println!("all programs verified against the loop recurrence (n = {n})\n");
+    for (name, size) in red.sizes() {
+        println!("{name:>20}: {size:>5} instructions");
+    }
+    println!("\nreduction: {:.1}%", red.reduction_percent());
+    if args.has("print") {
+        println!("\n{}", render(&red.pipelined));
+        println!("{}", render(&red.cred));
+        if let Some(p) = &red.cred_retime_unfold {
+            println!("{}", render(p));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_explore(g: &Dfg, args: &Args) -> Result<(), String> {
+    let n = args.get_u64("n", 101)?;
+    let max_f = args.get_u64("max-unfold", 4)? as usize;
+    if max_f < 1 {
+        return Err("--max-unfold must be at least 1".into());
+    }
+    let points = cred_explore::sweep(g, max_f, n, DecMode::Bulk);
+    println!(
+        "{:>3} {:>6} {:>11} {:>10} {:>12} {:>10}",
+        "f", "M_r", "plain size", "CRED size", "period", "registers"
+    );
+    for p in &points {
+        println!(
+            "{:>3} {:>6} {:>11} {:>10} {:>12} {:>10}",
+            p.f,
+            p.m_r,
+            p.plain_size,
+            p.cred_size,
+            p.iteration_period.to_string(),
+            p.registers
+        );
+    }
+    if let Some(budget) = args.get("budget") {
+        let budget: usize = budget
+            .parse()
+            .map_err(|_| "--budget: bad number".to_string())?;
+        match cred_explore::best_under_code_budget(g, budget, max_f, n, DecMode::Bulk) {
+            Some(p) => println!(
+                "\nbest under {budget} instructions: f = {}, period {}, size {}",
+                p.f, p.iteration_period, p.cred_size
+            ),
+            None => println!("\nno configuration fits {budget} instructions"),
+        }
+    }
+    if let Some(regs) = args.get("registers") {
+        let regs: usize = regs
+            .parse()
+            .map_err(|_| "--registers: bad number".to_string())?;
+        match cred_explore::best_under_register_budget(g, regs, max_f, n, DecMode::Bulk) {
+            Some(p) => println!(
+                "best under {regs} registers: f = {}, period {}, uses {}",
+                p.f, p.iteration_period, p.registers
+            ),
+            None => println!("no configuration fits {regs} registers"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_schedule(g: &Dfg, args: &Args) -> Result<(), String> {
+    let alu = args.get_u64("alu", 2)? as usize;
+    let mul = args.get_u64("mul", 1)? as usize;
+    if alu < 1 || mul < 1 {
+        return Err("--alu and --mul must be at least 1".into());
+    }
+    let fu = FuConfig::with_units(alu, mul);
+    let init = list_schedule(g, &fu);
+    let rot = rotation_schedule(g, &fu, g.node_count() * 8);
+    println!("machine: {alu} ALU, {mul} MUL");
+    println!("list schedule: {} control steps", init.length());
+    println!("after rotation scheduling: {} control steps", rot.length);
+    print!("rotation retiming:");
+    for v in g.node_ids() {
+        print!(" {}={}", g.node(v).name, rot.retiming.get(v));
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return fail("usage: credc <analyze|reduce|explore|schedule> <file.loop> [options]");
+    };
+    let Some((path, raw_flags)) = rest.split_first() else {
+        return fail("missing input file");
+    };
+    let args = match Args::parse(raw_flags) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let g = match load(path) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let result = match cmd.as_str() {
+        "analyze" => {
+            cmd_analyze(&g);
+            Ok(())
+        }
+        "reduce" => cmd_reduce(g, &args),
+        "explore" => cmd_explore(&g, &args),
+        "schedule" => cmd_schedule(&g, &args),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}

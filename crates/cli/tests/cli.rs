@@ -1,0 +1,41 @@
+//! Drive the real `credc` binary end-to-end on the shipped kernel files.
+
+#[test]
+fn credc_binary_runs() {
+    // Drive the real binary on a shipped kernel file.
+    let exe = env!("CARGO_BIN_EXE_credc");
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let out = std::process::Command::new(exe)
+        .args(["analyze", &format!("{root}/kernels/figure3.loop")])
+        .output()
+        .expect("credc runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("minimum cycle period by retiming: 1"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("conditional registers: 4"), "{stdout}");
+
+    let out = std::process::Command::new(exe)
+        .args([
+            "reduce",
+            &format!("{root}/kernels/biquad.loop"),
+            "--unfold",
+            "3",
+            "--n",
+            "101",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verified"), "{stdout}");
+
+    // Bad input fails cleanly.
+    let out = std::process::Command::new(exe)
+        .args(["analyze", "/nonexistent.loop"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,153 @@
+//! Pretty-printer producing listings in the style of the paper's figures.
+//!
+//! ```text
+//! setup p1 = 0 : -n
+//! for i = -2 to n do
+//!     (p1) A[i+3] = add(E[i-1])
+//!     p1 = p1 - 1
+//! end
+//! ```
+
+use crate::ir::{Inst, LoopProgram, Ref};
+use std::fmt::Write as _;
+
+fn fmt_ref(p: &LoopProgram, r: &Ref) -> String {
+    format!("{}[{}]", p.arrays[r.array as usize], r.index)
+}
+
+fn fmt_inst(p: &LoopProgram, inst: &Inst, indent: &str, out: &mut String) {
+    match inst {
+        Inst::Compute {
+            guard,
+            dest,
+            op,
+            srcs,
+        } => {
+            let g = match guard {
+                Some(g) if g.offset == 0 => format!("(p{}) ", g.reg.0 + 1),
+                Some(g) => format!("(p{}-{}) ", g.reg.0 + 1, g.offset),
+                None => String::new(),
+            };
+            let args: Vec<String> = srcs.iter().map(|s| fmt_ref(p, s)).collect();
+            let _ = writeln!(
+                out,
+                "{indent}{g}{} = {}({})",
+                fmt_ref(p, dest),
+                op.mnemonic(),
+                args.join(", ")
+            );
+        }
+        Inst::Setup { reg, init, bound } => {
+            let b = if *bound == -(p.n as i64) {
+                "-n".to_string()
+            } else {
+                bound.to_string()
+            };
+            let _ = writeln!(out, "{indent}setup p{} = {init} : {b}", reg.0 + 1);
+        }
+        Inst::Dec { reg, by } => {
+            let _ = writeln!(out, "{indent}p{0} = p{0} - {by}", reg.0 + 1);
+        }
+    }
+}
+
+/// Render the whole program.
+pub fn render(p: &LoopProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// {} (n = {}, {} instructions)",
+        p.name,
+        p.n,
+        p.code_size()
+    );
+    for inst in &p.pre {
+        fmt_inst(p, inst, "", &mut out);
+    }
+    if let Some(l) = &p.body {
+        let step = if l.step == 1 {
+            String::new()
+        } else {
+            format!(" by {}", l.step)
+        };
+        let hi = if l.hi == p.n as i64 {
+            "n".to_string()
+        } else {
+            l.hi.to_string()
+        };
+        let _ = writeln!(out, "for i = {} to {hi}{step} do", l.lo);
+        for inst in &l.body {
+            fmt_inst(p, inst, "    ", &mut out);
+        }
+        let _ = writeln!(out, "end");
+    }
+    for inst in &p.post {
+        fmt_inst(p, inst, "", &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cred::cred_pipelined;
+    use crate::pipeline::{original_program, pipelined_program};
+    use cred_dfg::{DfgBuilder, OpKind};
+    use cred_retime::Retiming;
+
+    fn tiny() -> cred_dfg::Dfg {
+        let mut b = DfgBuilder::new();
+        let a = b.node("A", 1, OpKind::Add(1));
+        let c = b.node("B", 1, OpKind::Mul(0));
+        b.edge(a, c, 0);
+        b.edge(c, a, 2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renders_original_loop() {
+        let g = tiny();
+        let s = render(&original_program(&g, 10));
+        assert!(s.contains("for i = 1 to n do"));
+        assert!(s.contains("A[i] = add(B[i-2])"));
+        assert!(s.contains("B[i] = mul(A[i])"));
+        assert!(s.ends_with("end\n"));
+    }
+
+    #[test]
+    fn renders_pipelined_with_prologue() {
+        let g = tiny();
+        let mut r = Retiming::zero(2);
+        r.set(g.find_node("A").unwrap(), 1);
+        let s = render(&pipelined_program(&g, &r, 10));
+        assert!(s.contains("A[1] = add(B[-1])"));
+        assert!(s.contains("B[n] = mul(A[n])"));
+    }
+
+    #[test]
+    fn renders_cred_with_setup_and_guards() {
+        let g = tiny();
+        let mut r = Retiming::zero(2);
+        r.set(g.find_node("A").unwrap(), 1);
+        let s = render(&cred_pipelined(&g, &r, 10));
+        assert!(s.contains("setup p1 = 0 : -n"), "{s}");
+        assert!(s.contains("setup p2 = 1 : -n"), "{s}");
+        assert!(s.contains("(p1) A[i+1]"), "{s}");
+        assert!(s.contains("(p2) B[i]"), "{s}");
+        assert!(s.contains("p1 = p1 - 1"), "{s}");
+        assert!(s.contains("for i = 0 to n do"), "{s}");
+    }
+
+    #[test]
+    fn renders_bulk_guard_offsets() {
+        let g = tiny();
+        let r = Retiming::zero(2);
+        let p = crate::cred::cred_unfolded(&g, 3, 10, crate::DecMode::Bulk);
+        let _ = r;
+        let s = render(&p);
+        assert!(s.contains("(p1-1)"), "{s}");
+        assert!(s.contains("(p1-2)"), "{s}");
+        assert!(s.contains("p1 = p1 - 3"), "{s}");
+        assert!(s.contains("by 3"), "{s}");
+    }
+}

@@ -1,0 +1,311 @@
+//! Unfolded-loop generators (baselines without conditional registers):
+//!
+//! * [`unfolded_program`] — plain unfolding (Figure 5(a)): a kernel of `f`
+//!   body copies plus `n mod f` remainder iterations outside the loop;
+//! * [`retime_unfold_program`] — retime first, then unfold (§3.4 /
+//!   Theorem 4.5 baseline);
+//! * [`unfold_retime_program`] — unfold first, then software-pipeline the
+//!   unfolded loop (Theorem 4.4 baseline).
+
+use crate::ir::{Index, Inst, LoopProgram, LoopSpec};
+use crate::pipeline::{array_names, instance};
+use cred_dfg::{algo, Dfg};
+use cred_retime::Retiming;
+use cred_unfold::Unfolded;
+
+/// Retime `g` by (normalized) `r`, then unfold the pipelined loop by `f`.
+///
+/// Structure: prologue (kernel instances at non-positive slots), a loop
+/// whose body holds `f` consecutive kernel instances, then straight-line
+/// leftover full slots and the epilogue. Code size for `n >= M_r`:
+/// `(M_r + f) * L + ((n - M_r) mod f) * L`.
+///
+/// Note the remainder term: the *correct* program has `(n - M_r) mod f`
+/// leftover kernel slots (the kernel covers `n - M_r` slots); the paper's
+/// tables use `Q_f = (n mod f) * L`, an `|M_r mod f|`-slot discrepancy
+/// documented in EXPERIMENTS.md.
+pub fn retime_unfold_program(g: &Dfg, r: &Retiming, f: usize, n: u64) -> LoopProgram {
+    assert!(f >= 1);
+    assert!(r.is_normalized(), "retiming must be normalized");
+    assert!(r.is_legal(g), "retiming must be legal");
+    let gr = r.apply(g);
+    let order = algo::zero_delay_topo_order(&gr).expect("retimed graph well-formed");
+    let m = r.max_value();
+    let n = n as i64;
+    let f_i = f as i64;
+
+    let emit_slot = |s: i64, mk: &dyn Fn(i64) -> Index, out: &mut Vec<Inst>| {
+        for &v in &order {
+            let idx = s + r.get(v);
+            if (1..=n).contains(&idx) {
+                out.push(instance(g, v, mk(idx), None));
+            }
+        }
+    };
+
+    let mut pre = Vec::new();
+    for s in (1 - m)..=0 {
+        emit_slot(s, &|idx| Index::Const(idx), &mut pre);
+    }
+    // Full slots are 1 ..= n - m; the loop takes floor((n-m)/f) chunks.
+    let full = (n - m).max(0);
+    let chunks = full / f_i;
+    let body = if chunks >= 1 {
+        let mut body = Vec::with_capacity(f * order.len());
+        for j in 0..f_i {
+            for &v in &order {
+                body.push(instance(g, v, Index::i_plus(j + r.get(v)), None));
+            }
+        }
+        Some(LoopSpec {
+            lo: 1,
+            hi: f_i * (chunks - 1) + 1,
+            step: f_i,
+            body,
+            auto_dec: None,
+        })
+    } else {
+        None
+    };
+    // Leftover full slots, then epilogue slots, all straight-line.
+    let mut post = Vec::new();
+    for s in (f_i * chunks + 1).max(1)..=n {
+        emit_slot(s, &|idx| Index::NPlus(idx - n), &mut post);
+    }
+    LoopProgram {
+        name: if m == 0 {
+            "unfolded".into()
+        } else {
+            "retime-unfold".into()
+        },
+        n: n as u64,
+        arrays: array_names(g),
+        pre,
+        body,
+        post,
+    }
+}
+
+/// Plain unfolding by `f` (Figure 5(a)): the zero-retiming special case of
+/// [`retime_unfold_program`]. Code size `f * L + (n mod f) * L`.
+pub fn unfolded_program(g: &Dfg, f: usize, n: u64) -> LoopProgram {
+    retime_unfold_program(g, &Retiming::zero(g.node_count()), f, n)
+}
+
+/// Unfold `g` by `f`, then software-pipeline the unfolded loop with a
+/// (normalized) retiming `r_f` over the unfolded nodes.
+///
+/// The unfolded loop has `N = floor(n/f)` iterations; the `n mod f`
+/// remainder iterations of the original loop are emitted straight-line
+/// after the epilogue. Code size for `N >= M_{f,r}`:
+/// `(M_{f,r} + 1) * f * L + (n mod f) * L` (Theorem 4.4).
+pub fn unfold_retime_program(g: &Dfg, u: &Unfolded, r_f: &Retiming, n: u64) -> LoopProgram {
+    let f = u.factor;
+    assert_eq!(
+        u.original_nodes,
+        g.node_count(),
+        "unfolded graph does not belong to g"
+    );
+    assert!(r_f.is_normalized(), "retiming must be normalized");
+    assert!(r_f.is_legal(&u.graph), "retiming must be legal for G_f");
+    let gfr = r_f.apply(&u.graph);
+    let order = algo::zero_delay_topo_order(&gfr).expect("retimed G_f well-formed");
+    let n = n as i64;
+    let f_i = f as i64;
+    let big_n = n / f_i; // unfolded trip count
+    let m = r_f.max_value();
+
+    // Original iteration handled by unfolded node w at unfolded iteration K.
+    let orig_iter = |w: cred_dfg::NodeId, k_expr: Index| -> (cred_dfg::NodeId, Index) {
+        let (orig, j) = u.origin(w);
+        let idx = match k_expr {
+            Index::Const(k) => Index::Const(f_i * (k - 1) + j as i64 + 1),
+            Index::Loop { scale, offset } => Index::Loop {
+                scale: scale * f_i,
+                offset: f_i * (offset - 1) + j as i64 + 1,
+            },
+            Index::NPlus(_) => unreachable!("unfold-retime uses Const/Loop only"),
+        };
+        (orig, idx)
+    };
+
+    let emit_slot = |s: i64, out: &mut Vec<Inst>| {
+        for &w in &order {
+            let k = s + r_f.get(w);
+            if (1..=big_n).contains(&k) {
+                let (orig, idx) = orig_iter(w, Index::Const(k));
+                out.push(instance(g, orig, idx, None));
+            }
+        }
+    };
+
+    let mut pre = Vec::new();
+    for s in (1 - m)..=0 {
+        emit_slot(s, &mut pre);
+    }
+    let body = if big_n - m >= 1 {
+        Some(LoopSpec {
+            lo: 1,
+            hi: big_n - m,
+            step: 1,
+            body: order
+                .iter()
+                .map(|&w| {
+                    let (orig, idx) = orig_iter(
+                        w,
+                        Index::Loop {
+                            scale: 1,
+                            offset: r_f.get(w),
+                        },
+                    );
+                    instance(g, orig, idx, None)
+                })
+                .collect(),
+            auto_dec: None,
+        })
+    } else {
+        None
+    };
+    let mut post = Vec::new();
+    for s in (big_n - m + 1).max(1)..=big_n {
+        emit_slot(s, &mut post);
+    }
+    // Remainder original iterations f*N+1 ..= n.
+    let orig_order = algo::zero_delay_topo_order(g).expect("well-formed");
+    for it in (f_i * big_n + 1)..=n {
+        for &v in &orig_order {
+            post.push(instance(g, v, Index::NPlus(it - n), None));
+        }
+    }
+    LoopProgram {
+        name: "unfold-retime".into(),
+        n: n as u64,
+        arrays: array_names(g),
+        pre,
+        body,
+        post,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cred_dfg::{DfgBuilder, OpKind};
+    use cred_unfold::unfold;
+
+    /// Figure 4: A[i] = B[i-3]*3; B[i] = A[i]+7; C[i] = B[i]*2.
+    fn figure4_graph() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let a = b.node("A", 1, OpKind::Mul(3));
+        let bb = b.node("B", 1, OpKind::Add(7));
+        let c = b.node("C", 1, OpKind::Mul(2));
+        b.edge(bb, a, 3);
+        b.edge(a, bb, 0);
+        b.edge(bb, c, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure5a_unfolded_structure() {
+        // f = 3, n = 11 (n mod f = 2): kernel of 9 instructions + 6
+        // remainder instructions, exactly Figure 5(a).
+        let g = figure4_graph();
+        let p = unfolded_program(&g, 3, 11);
+        assert!(p.pre.is_empty());
+        let body = p.body.as_ref().unwrap();
+        assert_eq!(body.body.len(), 9);
+        assert_eq!(body.step, 3);
+        assert_eq!(body.lo, 1);
+        // Loop covers 1..=9: i = 1, 4, 7.
+        assert_eq!(body.hi, 7);
+        assert_eq!(body.trip_count(), 3);
+        assert_eq!(p.post.len(), 6); // 2 remainder iterations x 3 nodes
+        assert_eq!(p.code_size(), 15); // f*L + (n mod f)*L = 9 + 6
+    }
+
+    #[test]
+    fn unfolded_divisible_has_no_remainder() {
+        let g = figure4_graph();
+        let p = unfolded_program(&g, 3, 12);
+        assert_eq!(p.post.len(), 0);
+        assert_eq!(p.code_size(), 9);
+        assert_eq!(p.body.as_ref().unwrap().trip_count(), 4);
+    }
+
+    /// The Figure 6 loop: like Figure 4 but with `B[i] = A[i-1] + 7`, the
+    /// only reading under which the paper's `r(B) = 1` retiming and the
+    /// Figure 7(c) execution sequence (`A[0], B[1], C[0], ...`) are
+    /// consistent (the figure's printed `B[i] = A[i]+7` would make
+    /// `r(B) = 1` illegal on the zero-delay edge A -> B).
+    fn figure6_graph() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let a = b.node("A", 1, OpKind::Mul(3));
+        let bb = b.node("B", 1, OpKind::Add(7));
+        let c = b.node("C", 1, OpKind::Mul(2));
+        b.edge(bb, a, 3);
+        b.edge(a, bb, 1);
+        b.edge(bb, c, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn retime_unfold_size_formula() {
+        // r(B) = 1 (Figure 6's pipelining); M = 1; f = 3.
+        let g = figure6_graph();
+        let mut r = Retiming::zero(3);
+        r.set(g.find_node("B").unwrap(), 1);
+        assert!(r.is_legal(&g));
+        for n in [10u64, 11, 12, 13, 100, 101] {
+            let p = retime_unfold_program(&g, &r, 3, n);
+            let l = 3i64;
+            let m = 1i64;
+            let expect = m * l + 3 * l + (((n as i64 - m) % 3) * l);
+            assert_eq!(p.code_size() as i64, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn unfold_retime_size_formula() {
+        let g = figure4_graph();
+        let n = 101u64;
+        let f = 3usize;
+        let u = unfold(&g, f);
+        let opt = cred_retime::min_period_retiming(&u.graph);
+        let p = unfold_retime_program(&g, &u, &opt.retiming, n);
+        let l = g.node_count() as i64;
+        let m = opt.retiming.max_value();
+        // Prologue+epilogue counts are sums of r over V_f (no clipping for
+        // N=33 >> M).
+        let sum_r: i64 = opt.retiming.values().iter().sum();
+        let sum_rest: i64 = opt.retiming.values().iter().map(|&x| m - x).sum();
+        let expect = sum_r + f as i64 * l + sum_rest + (n as i64 % f as i64) * l;
+        assert_eq!(p.code_size() as i64, expect);
+        // And the closed form (M+1)*f*L + Q_f matches, since
+        // sum_r + sum_rest = M * |V_f| = M * f * L.
+        assert_eq!(
+            p.code_size() as i64,
+            (m + 1) * f as i64 * l + (n as i64 % f as i64) * l
+        );
+    }
+
+    #[test]
+    fn unfold_retime_small_n_no_loop() {
+        let g = figure4_graph();
+        let u = unfold(&g, 3);
+        let r = Retiming::zero(u.graph.node_count());
+        let p = unfold_retime_program(&g, &u, &r, 2); // n < f: N = 0
+        assert!(p.body.is_none());
+        assert_eq!(p.compute_count(), 6); // remainder only: 2 iterations
+    }
+
+    #[test]
+    fn remainder_indexes_are_n_relative() {
+        let g = figure4_graph();
+        let p = unfolded_program(&g, 3, 11);
+        // Last remainder instruction writes C[n].
+        let Inst::Compute { dest, .. } = p.post.last().unwrap() else {
+            panic!("expected compute");
+        };
+        assert_eq!(dest.index, Index::NPlus(0));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests: measured instruction counts of generated programs equal
+//! the paper's closed-form code sizes, for random graphs and retimings.
+
+use cred_codegen::cred::{cred_retime_unfold, cred_unfolded};
+use cred_codegen::pipeline::pipelined_program;
+use cred_codegen::unfolded::{retime_unfold_program, unfolded_program};
+use cred_codegen::{size, DecMode};
+use cred_dfg::{gen, Dfg};
+use cred_retime::min_period_retiming;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn graph_from(seed: u64, nodes: usize) -> Dfg {
+    gen::random_dfg(
+        &mut StdRng::seed_from_u64(seed),
+        &gen::RandomDfgConfig {
+            nodes,
+            forward_edge_prob: 0.3,
+            back_edges: (nodes / 2).max(1),
+            max_delay: 3,
+            max_time: 1,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipelined_size_formula(seed in any::<u64>(), nodes in 2..10usize, n in 1..40u64) {
+        let g = graph_from(seed, nodes);
+        let r = min_period_retiming(&g).retiming;
+        prop_assume!(r.max_value() < n as i64); // closed form needs a kernel: n > M
+        let p = pipelined_program(&g, &r, n);
+        prop_assert_eq!(
+            p.code_size() as u64,
+            size::pipelined_size(nodes as u64, nodes as u64, r.max_value() as u64)
+        );
+    }
+
+    #[test]
+    fn cred_size_formulas(seed in any::<u64>(), nodes in 2..10usize, f in 1..5usize) {
+        let g = graph_from(seed, nodes);
+        let r = min_period_retiming(&g).retiming;
+        let p_regs = r.register_count() as u64;
+        let bulk = cred_retime_unfold(&g, &r, f, 101, DecMode::Bulk);
+        prop_assert_eq!(
+            bulk.code_size() as u64,
+            size::cred_retime_unfold_size_bulk(nodes as u64, p_regs, f as u64)
+        );
+        let per = cred_retime_unfold(&g, &r, f, 101, DecMode::PerCopy);
+        prop_assert_eq!(
+            per.code_size() as u64,
+            size::cred_retime_unfold_size_percopy(nodes as u64, p_regs, f as u64)
+        );
+        // Bulk never larger than per-copy; equal only at f = 1.
+        prop_assert!(bulk.code_size() <= per.code_size());
+        if f == 1 {
+            prop_assert_eq!(bulk.code_size(), per.code_size());
+        }
+    }
+
+    #[test]
+    fn unfolded_size_formula(seed in any::<u64>(), nodes in 2..9usize, f in 1..5usize, n in 1..80u64) {
+        let g = graph_from(seed, nodes);
+        prop_assume!(n >= f as u64); // the unfolded loop must exist
+        let p = unfolded_program(&g, f, n);
+        prop_assert_eq!(
+            p.code_size() as u64,
+            size::unfolded_size(nodes as u64, f as u64, n)
+        );
+        let c = cred_unfolded(&g, f, n, DecMode::Bulk);
+        prop_assert_eq!(
+            c.code_size() as u64,
+            size::cred_unfolded_size(nodes as u64, f as u64)
+        );
+    }
+
+    #[test]
+    fn retime_unfold_size_formula(seed in any::<u64>(), nodes in 2..9usize, f in 1..5usize, n in 1..80u64) {
+        let g = graph_from(seed, nodes);
+        let r = min_period_retiming(&g).retiming;
+        let m = r.max_value() as u64;
+        prop_assume!(n >= m + f as u64); // kernel of f full slots must exist
+        let p = retime_unfold_program(&g, &r, f, n);
+        let l = nodes as u64;
+        // Executable-program remainder: (n - M) mod f slots.
+        let expect = (m + f as u64) * l + ((n - m) % f as u64) * l;
+        prop_assert_eq!(p.code_size() as u64, expect);
+    }
+
+    #[test]
+    fn cred_loop_trip_counts(seed in any::<u64>(), nodes in 2..8usize, f in 1..5usize, n in 1..60u64) {
+        // The CRED loop runs ceil((n + M + Q_head)/f) times; at f = 1 that
+        // is the paper's n + M_r.
+        let g = graph_from(seed, nodes);
+        let r = min_period_retiming(&g).retiming;
+        let m = r.max_value() as u64;
+        let p = cred_retime_unfold(&g, &r, f, n, DecMode::Bulk);
+        let l = p.body.as_ref().unwrap();
+        let qhead = ((f as u64) - m % f as u64) % f as u64;
+        prop_assert_eq!(l.trip_count(), (n + m + qhead).div_ceil(f as u64));
+        if f == 1 {
+            prop_assert_eq!(l.trip_count(), n + m);
+        }
+    }
+
+    #[test]
+    fn dynamic_size_of_cred_close_to_baseline(seed in any::<u64>(), nodes in 2..8usize, n in 10..60u64) {
+        // CRED trades static size for a few extra dynamic iterations
+        // (n + M instead of n - M kernel runs) plus decrements; the
+        // overhead is bounded by (2M + ...) * body + registers.
+        let g = graph_from(seed, nodes);
+        let r = min_period_retiming(&g).retiming;
+        let m = r.max_value() as u64;
+        prop_assume!(m <= n);
+        let pip = pipelined_program(&g, &r, n);
+        let cred = cred_retime_unfold(&g, &r, 1, n, DecMode::Bulk);
+        let body = nodes as u64;
+        let p_regs = r.register_count() as u64;
+        // pipelined dynamic = n * body (each instance once).
+        prop_assert_eq!(pip.dynamic_size(), n * body);
+        // cred dynamic = (n + M) * (body + P) + P setups.
+        prop_assert_eq!(
+            cred.dynamic_size(),
+            (n + m) * (body + p_regs) + p_regs
+        );
+    }
+}

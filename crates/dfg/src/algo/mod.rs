@@ -1,0 +1,13 @@
+//! Graph analyses used by retiming, unfolding, scheduling, and codegen.
+
+pub mod cycle_period;
+pub mod iteration_bound;
+pub mod scc;
+pub mod topo;
+pub mod wd;
+
+pub use cycle_period::{cycle_period, zero_delay_longest_path_to};
+pub use iteration_bound::iteration_bound;
+pub use scc::strongly_connected_components;
+pub use topo::zero_delay_topo_order;
+pub use wd::WdMatrices;

@@ -1,0 +1,179 @@
+//! Strongly connected components (Tarjan's algorithm, iterative).
+//!
+//! SCCs identify the cyclic cores of a DFG: only nodes inside a non-trivial
+//! SCC contribute cycles to the iteration bound; everything else is
+//! feed-forward and can be retimed freely.
+
+use crate::{Dfg, NodeId};
+
+/// Compute strongly connected components over *all* edges (delays ignored).
+///
+/// Returns components in reverse topological order of the condensation
+/// (standard Tarjan output); each component is a list of node ids.
+pub fn strongly_connected_components(g: &Dfg) -> Vec<Vec<NodeId>> {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.node_count();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<NodeId>> = Vec::new();
+
+    // Explicit DFS stack of (node, next out-edge position) to avoid
+    // recursion depth limits on large generated graphs.
+    let mut call: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in g.node_ids() {
+        if index[root.index()] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        index[root.index()] = next_index;
+        lowlink[root.index()] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root.index()] = true;
+
+        while let Some(&mut (v, ref mut ei)) = call.last_mut() {
+            if *ei < g.out_edges(v).len() {
+                let e = g.out_edges(v)[*ei];
+                *ei += 1;
+                let w = g.edge(e).dst;
+                if index[w.index()] == UNVISITED {
+                    index[w.index()] = next_index;
+                    lowlink[w.index()] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w.index()] = true;
+                    call.push((w, 0));
+                } else if on_stack[w.index()] {
+                    lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
+                }
+                if lowlink[v.index()] == index[v.index()] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w.index()] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// True if node `v` lies on some dependence cycle (its SCC is non-trivial or
+/// it has a self-loop).
+pub fn is_on_cycle(g: &Dfg, sccs: &[Vec<NodeId>], v: NodeId) -> bool {
+    let comp = sccs
+        .iter()
+        .find(|c| c.contains(&v))
+        .expect("node must belong to some SCC");
+    comp.len() > 1 || g.out_edges(v).iter().any(|&e| g.edge(e).dst == v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfgBuilder;
+
+    #[test]
+    fn two_node_cycle_is_one_scc() {
+        let mut b = DfgBuilder::new();
+        let a = b.unit("A");
+        let c = b.unit("B");
+        b.edge(a, c, 0);
+        b.edge(c, a, 1);
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 2);
+    }
+
+    #[test]
+    fn chain_gives_singletons() {
+        let mut b = DfgBuilder::new();
+        let a = b.unit("A");
+        let c = b.unit("B");
+        let d = b.unit("C");
+        b.edge(a, c, 0);
+        b.edge(c, d, 1);
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn reverse_topological_component_order() {
+        // A -> B cycle(B, C), chain order: {A} must come after {B, C}
+        // in Tarjan's reverse-topological output.
+        let mut b = DfgBuilder::new();
+        let a = b.unit("A");
+        let c = b.unit("B");
+        let d = b.unit("C");
+        b.edge(a, c, 0);
+        b.edge(c, d, 0);
+        b.edge(d, c, 1);
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        assert_eq!(sccs[0].len(), 2); // {B, C} emitted first
+        assert_eq!(sccs[1], vec![a]);
+    }
+
+    #[test]
+    fn self_loop_counts_as_cycle() {
+        let mut b = DfgBuilder::new();
+        let a = b.unit("A");
+        let c = b.unit("B");
+        b.edge(a, a, 1);
+        b.edge(a, c, 0);
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert!(is_on_cycle(&g, &sccs, a));
+        assert!(!is_on_cycle(&g, &sccs, c));
+    }
+
+    #[test]
+    fn nested_cycles_merge() {
+        // a -> b -> c -> a  and  b -> d -> b: all in one SCC.
+        let mut b = DfgBuilder::new();
+        let n: Vec<_> = (0..4).map(|i| b.unit(format!("n{i}"))).collect();
+        b.edge(n[0], n[1], 0);
+        b.edge(n[1], n[2], 0);
+        b.edge(n[2], n[0], 1);
+        b.edge(n[1], n[3], 0);
+        b.edge(n[3], n[1], 1);
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 4);
+    }
+
+    #[test]
+    fn large_path_graph_no_stack_overflow() {
+        // 100k-node zero-delay chain exercises the iterative DFS.
+        let mut b = DfgBuilder::new();
+        let mut prev = b.unit("n0");
+        for i in 1..100_000 {
+            let cur = b.unit(format!("n{i}"));
+            b.edge(prev, cur, 0);
+            prev = cur;
+        }
+        let g = b.build_unchecked();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 100_000);
+    }
+}

@@ -1,0 +1,123 @@
+//! Topological ordering of the zero-delay subgraph.
+//!
+//! A legal static schedule of one iteration must respect every intra-
+//! iteration (zero-delay) dependence, so the zero-delay subgraph must be a
+//! DAG. Its topological order is the evaluation order used by the reference
+//! executor and by the schedulers.
+
+use crate::{Dfg, NodeId};
+
+/// Kahn's algorithm restricted to zero-delay edges.
+///
+/// Ready nodes are drained smallest-id-first, so the order is deterministic
+/// and coincides with insertion order whenever dependencies allow — code
+/// generators rely on this to reproduce the paper's instruction listings.
+///
+/// Returns `None` if the zero-delay subgraph contains a cycle (the DFG is
+/// then malformed: no legal schedule exists).
+pub fn zero_delay_topo_order(g: &Dfg) -> Option<Vec<NodeId>> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.node_count();
+    let mut indeg = vec![0usize; n];
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        if ed.delay == 0 {
+            indeg[ed.dst.index()] += 1;
+        }
+    }
+    let mut ready: BinaryHeap<Reverse<u32>> = g
+        .node_ids()
+        .filter(|v| indeg[v.index()] == 0)
+        .map(|v| Reverse(v.0))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse(v)) = ready.pop() {
+        let v = NodeId(v);
+        order.push(v);
+        for &e in g.out_edges(v) {
+            let ed = g.edge(e);
+            if ed.delay == 0 {
+                let d = &mut indeg[ed.dst.index()];
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(Reverse(ed.dst.0));
+                }
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DfgBuilder, OpKind};
+
+    #[test]
+    fn chain_orders_correctly() {
+        let mut b = DfgBuilder::new();
+        let c = b.unit("C");
+        let a = b.unit("A");
+        let bb = b.unit("B");
+        b.edge(a, bb, 0);
+        b.edge(bb, c, 0);
+        let g = b.build_unchecked();
+        let order = zero_delay_topo_order(&g).unwrap();
+        let pos = |v| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(a) < pos(bb));
+        assert!(pos(bb) < pos(c));
+    }
+
+    #[test]
+    fn delayed_back_edge_does_not_block() {
+        let mut b = DfgBuilder::new();
+        let a = b.unit("A");
+        let bb = b.unit("B");
+        b.edge(a, bb, 0);
+        b.edge(bb, a, 1); // inter-iteration: not a zero-delay cycle
+        let g = b.build_unchecked();
+        assert!(zero_delay_topo_order(&g).is_some());
+    }
+
+    #[test]
+    fn zero_delay_cycle_detected() {
+        let mut b = DfgBuilder::new();
+        let a = b.unit("A");
+        let bb = b.unit("B");
+        b.edge(a, bb, 0);
+        b.edge(bb, a, 0);
+        let g = b.build_unchecked();
+        assert!(zero_delay_topo_order(&g).is_none());
+    }
+
+    #[test]
+    fn empty_graph_has_empty_order() {
+        let g = DfgBuilder::new().build_unchecked();
+        assert_eq!(zero_delay_topo_order(&g), Some(vec![]));
+    }
+
+    #[test]
+    fn parallel_zero_delay_edges_handled() {
+        // Multigraph: two zero-delay edges A -> B must both be drained.
+        let mut b = DfgBuilder::new();
+        let a = b.unit("A");
+        let bb = b.unit("B");
+        b.edge(a, bb, 0);
+        b.edge(a, bb, 0);
+        let g = b.build_unchecked();
+        let order = zero_delay_topo_order(&g).unwrap();
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn operation_kind_is_irrelevant_to_order() {
+        let mut b = DfgBuilder::new();
+        let a = b.node("A", 3, OpKind::Mul(0));
+        let c = b.node("C", 2, OpKind::Input(0));
+        b.edge(c, a, 0);
+        let g = b.build_unchecked();
+        let order = zero_delay_topo_order(&g).unwrap();
+        assert_eq!(order, vec![c, a]);
+    }
+}

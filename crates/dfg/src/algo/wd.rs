@@ -1,0 +1,228 @@
+//! The Leiserson–Saxe `W` and `D` matrices.
+//!
+//! For a DFG `G` and nodes `u, v`:
+//!
+//! * `W(u, v)` — the minimum delay count over all paths `u ~> v`;
+//! * `D(u, v)` — the maximum total computation time (including both
+//!   endpoints) over the minimum-delay paths `u ~> v`.
+//!
+//! These drive the OPT min-period retiming algorithm: a clock period `c` is
+//! achievable iff the difference constraints `r(u) - r(v) <= d(e)` for every
+//! edge and `r(u) - r(v) <= W(u, v) - 1` for every pair with `D(u, v) > c`
+//! are simultaneously satisfiable, and the candidate optimal periods are
+//! exactly the entries of `D`.
+//!
+//! Computed with Floyd–Warshall over lexicographic pair weights
+//! `(d(e), -t(src))`, the standard reduction from the retiming paper.
+
+use crate::Dfg;
+
+const INF: i64 = i64::MAX / 4;
+
+/// Dense `W`/`D` matrices for all node pairs. `None` entries mean `v` is
+/// unreachable from `u`.
+#[derive(Debug, Clone)]
+pub struct WdMatrices {
+    n: usize,
+    /// Lexicographic shortest-path weight: (delay, -time-of-path-minus-dst).
+    w: Vec<i64>,
+    neg_t: Vec<i64>,
+    times: Vec<i64>,
+}
+
+impl WdMatrices {
+    /// Compute both matrices in `O(V^3)` (dense Floyd–Warshall).
+    pub fn compute(g: &Dfg) -> Self {
+        let n = g.node_count();
+        let mut w = vec![INF; n * n];
+        let mut neg_t = vec![INF; n * n];
+        let at = |i: usize, j: usize| i * n + j;
+        for u in 0..n {
+            w[at(u, u)] = 0;
+            neg_t[at(u, u)] = 0;
+        }
+        for e in g.edge_ids() {
+            let ed = g.edge(e);
+            let (i, j) = (ed.src.index(), ed.dst.index());
+            let cand = (ed.delay as i64, -(g.node(ed.src).time as i64));
+            if cand < (w[at(i, j)], neg_t[at(i, j)]) {
+                w[at(i, j)] = cand.0;
+                neg_t[at(i, j)] = cand.1;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if w[at(i, k)] >= INF {
+                    continue;
+                }
+                let (wik, tik) = (w[at(i, k)], neg_t[at(i, k)]);
+                for j in 0..n {
+                    if w[at(k, j)] >= INF {
+                        continue;
+                    }
+                    let cand = (wik + w[at(k, j)], tik + neg_t[at(k, j)]);
+                    if cand < (w[at(i, j)], neg_t[at(i, j)]) {
+                        w[at(i, j)] = cand.0;
+                        neg_t[at(i, j)] = cand.1;
+                    }
+                }
+            }
+        }
+        let times = g.node_ids().map(|v| g.node(v).time as i64).collect();
+        WdMatrices { n, w, neg_t, times }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `W(u, v)`: minimum path delay count, `None` if unreachable.
+    pub fn w(&self, u: usize, v: usize) -> Option<i64> {
+        let x = self.w[u * self.n + v];
+        (x < INF).then_some(x)
+    }
+
+    /// `D(u, v)`: maximum computation time over minimum-delay paths
+    /// (both endpoints included), `None` if unreachable.
+    pub fn d(&self, u: usize, v: usize) -> Option<i64> {
+        let x = self.neg_t[u * self.n + v];
+        (x < INF).then_some(self.times[v] - x)
+    }
+
+    /// All distinct finite `D` values, sorted ascending — the candidate
+    /// clock periods for min-period retiming.
+    pub fn candidate_periods(&self) -> Vec<i64> {
+        let mut out: Vec<i64> = (0..self.n)
+            .flat_map(|u| (0..self.n).filter_map(move |v| self.d(u, v)))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DfgBuilder, OpKind};
+
+    fn correlator() -> (Dfg, Vec<crate::NodeId>) {
+        // A 4-node ring: v0 -t=1-> v1 -> v2 -> v3, back edge with 3 delays.
+        let mut b = DfgBuilder::new();
+        let times = [3u32, 3, 3, 3];
+        let nodes: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| b.node(format!("v{i}"), t, OpKind::Add(0)))
+            .collect();
+        b.edge(nodes[0], nodes[1], 1);
+        b.edge(nodes[1], nodes[2], 1);
+        b.edge(nodes[2], nodes[3], 1);
+        b.edge(nodes[3], nodes[0], 0);
+        let g = b.build().unwrap();
+        (g, nodes)
+    }
+
+    use crate::Dfg;
+
+    #[test]
+    fn diagonal_is_trivial_path() {
+        let (g, nodes) = correlator();
+        let wd = WdMatrices::compute(&g);
+        for v in &nodes {
+            assert_eq!(wd.w(v.index(), v.index()), Some(0));
+            assert_eq!(wd.d(v.index(), v.index()), Some(g.node(*v).time as i64));
+        }
+    }
+
+    #[test]
+    fn ring_w_and_d() {
+        let (_, nodes) = correlator();
+        let (g, _) = correlator();
+        let wd = WdMatrices::compute(&g);
+        let (v0, v1, v3) = (nodes[0].index(), nodes[1].index(), nodes[3].index());
+        // v0 -> v1 direct: 1 delay, times 3 + 3 = 6.
+        assert_eq!(wd.w(v0, v1), Some(1));
+        assert_eq!(wd.d(v0, v1), Some(6));
+        // v3 -> v0: zero-delay edge, times 3 + 3.
+        assert_eq!(wd.w(v3, v0), Some(0));
+        assert_eq!(wd.d(v3, v0), Some(6));
+        // v0 -> v3: 3 delays, all four nodes on the path.
+        assert_eq!(wd.w(v0, v3), Some(3));
+        assert_eq!(wd.d(v0, v3), Some(12));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = DfgBuilder::new();
+        let a = b.unit("A");
+        let c = b.unit("B");
+        b.edge(a, c, 1);
+        let g = b.build().unwrap();
+        let wd = WdMatrices::compute(&g);
+        assert_eq!(wd.w(c.index(), a.index()), None);
+        assert_eq!(wd.d(c.index(), a.index()), None);
+        assert_eq!(wd.w(a.index(), c.index()), Some(1));
+    }
+
+    #[test]
+    fn min_delay_path_preferred_over_shorter_time() {
+        // Two paths a -> b: direct with 2 delays, and via x with 0 delays.
+        // W must pick the zero-delay route even though it is "longer" in time.
+        let mut b = DfgBuilder::new();
+        let a = b.node("A", 1, OpKind::Add(0));
+        let x = b.node("X", 10, OpKind::Add(0));
+        let c = b.node("B", 1, OpKind::Add(0));
+        b.edge(a, c, 2);
+        b.edge(a, x, 0);
+        b.edge(x, c, 0);
+        let g = b.build().unwrap();
+        let wd = WdMatrices::compute(&g);
+        assert_eq!(wd.w(a.index(), c.index()), Some(0));
+        assert_eq!(wd.d(a.index(), c.index()), Some(12)); // 1 + 10 + 1
+    }
+
+    #[test]
+    fn tie_on_delay_takes_max_time() {
+        // Two zero-delay paths a -> b; D takes the slower one.
+        let mut b = DfgBuilder::new();
+        let a = b.node("A", 1, OpKind::Add(0));
+        let x = b.node("X", 10, OpKind::Add(0));
+        let y = b.node("Y", 2, OpKind::Add(0));
+        let c = b.node("B", 1, OpKind::Add(0));
+        b.edge(a, x, 0);
+        b.edge(x, c, 0);
+        b.edge(a, y, 0);
+        b.edge(y, c, 0);
+        let g = b.build().unwrap();
+        let wd = WdMatrices::compute(&g);
+        assert_eq!(wd.w(a.index(), c.index()), Some(0));
+        assert_eq!(wd.d(a.index(), c.index()), Some(12));
+    }
+
+    #[test]
+    fn candidate_periods_sorted_unique() {
+        let (g, _) = correlator();
+        let wd = WdMatrices::compute(&g);
+        let cands = wd.candidate_periods();
+        assert!(cands.windows(2).all(|w| w[0] < w[1]));
+        assert!(cands.contains(&3)); // single node
+        assert!(cands.contains(&12)); // whole ring
+    }
+
+    #[test]
+    fn d_upper_bounds_cycle_period() {
+        // The cycle period (longest zero-delay path) must appear among
+        // candidate periods: it is D over a zero-delay path.
+        let (g, _) = correlator();
+        let wd = WdMatrices::compute(&g);
+        let phi = crate::algo::cycle_period(&g).unwrap() as i64;
+        assert!(wd.candidate_periods().contains(&phi));
+    }
+}

@@ -1,0 +1,79 @@
+//! Graphviz (DOT) export for data flow graphs.
+//!
+//! Delays are drawn as edge labels (the paper draws them as bar lines);
+//! non-unit computation times are appended to node labels.
+
+use crate::Dfg;
+use std::fmt::Write as _;
+
+/// Render `g` as a Graphviz `digraph`.
+pub fn to_dot(g: &Dfg, graph_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {graph_name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for v in g.node_ids() {
+        let nd = g.node(v);
+        if nd.time == 1 {
+            let _ = writeln!(out, "  {} [label=\"{}\"];", v.index(), esc(&nd.name));
+        } else {
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{} (t={})\"];",
+                v.index(),
+                esc(&nd.name),
+                nd.time
+            );
+        }
+    }
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        if ed.delay == 0 {
+            let _ = writeln!(out, "  {} -> {};", ed.src.index(), ed.dst.index());
+        } else {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}D\"];",
+                ed.src.index(),
+                ed.dst.index(),
+                ed.delay
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DfgBuilder, OpKind};
+
+    #[test]
+    fn renders_nodes_edges_and_delays() {
+        let mut b = DfgBuilder::new();
+        let a = b.unit("A");
+        let c = b.node("B", 3, OpKind::Mul(0));
+        b.edge(a, c, 0);
+        b.edge(c, a, 2);
+        let g = b.build().unwrap();
+        let dot = to_dot(&g, "fig1");
+        assert!(dot.starts_with("digraph fig1 {"));
+        assert!(dot.contains("label=\"A\""));
+        assert!(dot.contains("label=\"B (t=3)\""));
+        assert!(dot.contains("label=\"2D\""));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_quotes_in_names() {
+        let mut b = DfgBuilder::new();
+        b.node("a\"b", 1, OpKind::Add(0));
+        let g = b.build().unwrap();
+        assert!(to_dot(&g, "g").contains("a\\\"b"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Structured and random DFG generators for tests, property tests, and
+//! scalability benchmarks.
+//!
+//! All generators produce *well-formed* graphs (every cycle carries at
+//! least one delay): forward edges may have any delay, back edges always
+//! carry at least one.
+
+use crate::{Dfg, DfgBuilder, NodeId, OpKind};
+use rand::{Rng, RngExt};
+
+/// Parameters for [`random_dfg`].
+#[derive(Debug, Clone)]
+pub struct RandomDfgConfig {
+    /// Number of nodes (>= 1).
+    pub nodes: usize,
+    /// Probability of each forward (DAG) edge.
+    pub forward_edge_prob: f64,
+    /// Number of random back edges (each gets delay >= 1).
+    pub back_edges: usize,
+    /// Maximum delay on forward edges (back edges use `1..=max_delay.max(1)`).
+    pub max_delay: u32,
+    /// Maximum node computation time (min 1).
+    pub max_time: u32,
+}
+
+impl Default for RandomDfgConfig {
+    fn default() -> Self {
+        RandomDfgConfig {
+            nodes: 10,
+            forward_edge_prob: 0.3,
+            back_edges: 3,
+            max_delay: 2,
+            max_time: 1,
+        }
+    }
+}
+
+fn random_op(rng: &mut impl Rng) -> OpKind {
+    let c = rng.random_range(-5..=5i64);
+    match rng.random_range(0..4u8) {
+        0 => OpKind::Add(c),
+        1 => OpKind::Sub(c),
+        2 => OpKind::Mul(c),
+        _ => OpKind::Mac(c),
+    }
+}
+
+/// Generate a random well-formed DFG.
+///
+/// Nodes are ordered `0..n`; forward edges (`i -> j`, `i < j`) carry a delay
+/// in `0..=max_delay`, back edges (`i -> j`, `i >= j`) a delay in
+/// `1..=max(max_delay, 1)`. The zero-delay subgraph is therefore a DAG by
+/// construction.
+pub fn random_dfg(rng: &mut impl Rng, cfg: &RandomDfgConfig) -> Dfg {
+    assert!(cfg.nodes >= 1, "need at least one node");
+    let mut b = DfgBuilder::new();
+    let nodes: Vec<NodeId> = (0..cfg.nodes)
+        .map(|i| {
+            let t = rng.random_range(1..=cfg.max_time.max(1));
+            let op = random_op(rng);
+            b.node(format!("n{i}"), t, op)
+        })
+        .collect();
+    for i in 0..cfg.nodes {
+        for j in (i + 1)..cfg.nodes {
+            if rng.random_bool(cfg.forward_edge_prob) {
+                b.edge(nodes[i], nodes[j], rng.random_range(0..=cfg.max_delay));
+            }
+        }
+    }
+    for _ in 0..cfg.back_edges {
+        let j = rng.random_range(0..cfg.nodes);
+        let i = rng.random_range(j..cfg.nodes);
+        b.edge(
+            nodes[i],
+            nodes[j],
+            rng.random_range(1..=cfg.max_delay.max(1)),
+        );
+    }
+    b.build()
+        .expect("generator must produce well-formed graphs")
+}
+
+/// A directed ring `v0 -> v1 -> ... -> v_{k-1} -> v0` with the given node
+/// times and per-edge delays (`delays[i]` is on the edge leaving `v_i`).
+///
+/// # Panics
+/// Panics if the lengths disagree, `k == 0`, or all delays are zero
+/// (the ring would be malformed).
+pub fn ring(times: &[u32], delays: &[u32]) -> Dfg {
+    assert_eq!(times.len(), delays.len(), "times/delays length mismatch");
+    assert!(!times.is_empty(), "ring needs at least one node");
+    assert!(
+        delays.iter().any(|&d| d > 0),
+        "ring must carry at least one delay"
+    );
+    let mut b = DfgBuilder::new();
+    let nodes: Vec<NodeId> = times
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| b.node(format!("v{i}"), t, OpKind::Add(i as i64 + 1)))
+        .collect();
+    let k = nodes.len();
+    for i in 0..k {
+        b.edge(nodes[i], nodes[(i + 1) % k], delays[i]);
+    }
+    b.build().expect("ring is well-formed")
+}
+
+/// A zero-delay chain `v0 -> v1 -> ... -> v_{k-1}` of unit-time nodes with a
+/// delayed feedback edge from the last node to the first, making the whole
+/// graph one cycle with `feedback_delay` delays.
+pub fn chain_with_feedback(k: usize, feedback_delay: u32) -> Dfg {
+    assert!(k >= 1);
+    assert!(feedback_delay >= 1, "feedback edge must carry a delay");
+    let mut b = DfgBuilder::new();
+    let nodes: Vec<NodeId> = (0..k)
+        .map(|i| b.node(format!("v{i}"), 1, OpKind::Add(i as i64 + 1)))
+        .collect();
+    for w in nodes.windows(2) {
+        b.edge(w[0], w[1], 0);
+    }
+    b.edge(nodes[k - 1], nodes[0], feedback_delay);
+    b.build().expect("chain is well-formed")
+}
+
+/// A `depth x width` feed-forward layered graph (unit times, zero delays
+/// between layers) with one delayed feedback edge — a stand-in for deeply
+/// pipelined filter structures.
+pub fn layered(width: usize, depth: usize, feedback_delay: u32) -> Dfg {
+    assert!(width >= 1 && depth >= 1);
+    assert!(feedback_delay >= 1);
+    let mut b = DfgBuilder::new();
+    let mut layers: Vec<Vec<NodeId>> = Vec::with_capacity(depth);
+    for l in 0..depth {
+        layers.push(
+            (0..width)
+                .map(|i| b.node(format!("l{l}_{i}"), 1, OpKind::Add((l * width + i) as i64)))
+                .collect(),
+        );
+    }
+    for l in 1..depth {
+        for i in 0..width {
+            // Each node depends on its column predecessor and one neighbour.
+            b.edge(layers[l - 1][i], layers[l][i], 0);
+            b.edge(layers[l - 1][(i + 1) % width], layers[l][i], 0);
+        }
+    }
+    b.edge(layers[depth - 1][0], layers[0][0], feedback_delay);
+    b.build().expect("layered graph is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn random_graphs_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for nodes in [1usize, 2, 5, 20, 50] {
+            let cfg = RandomDfgConfig {
+                nodes,
+                ..Default::default()
+            };
+            for _ in 0..10 {
+                let g = random_dfg(&mut rng, &cfg);
+                assert!(g.validate().is_ok());
+                assert_eq!(g.node_count(), nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(&[1, 4, 5, 7, 10], &[0, 0, 1, 0, 1]);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.total_delays(), 2);
+        assert_eq!(algo::iteration_bound(&g), Some(crate::Ratio::new(27, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one delay")]
+    fn zero_delay_ring_rejected() {
+        let _ = ring(&[1, 1], &[0, 0]);
+    }
+
+    #[test]
+    fn chain_cycle_period_equals_length() {
+        let g = chain_with_feedback(6, 2);
+        assert_eq!(algo::cycle_period(&g), Some(6));
+        assert_eq!(algo::iteration_bound(&g), Some(crate::Ratio::integer(3)));
+    }
+
+    #[test]
+    fn layered_is_well_formed_and_deep() {
+        let g = layered(4, 5, 3);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(algo::cycle_period(&g), Some(5));
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let cfg = RandomDfgConfig::default();
+        let g1 = random_dfg(&mut StdRng::seed_from_u64(42), &cfg);
+        let g2 = random_dfg(&mut StdRng::seed_from_u64(42), &cfg);
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for (e1, e2) in g1.edge_ids().zip(g2.edge_ids()) {
+            assert_eq!(g1.edge(e1), g2.edge(e2));
+        }
+    }
+}

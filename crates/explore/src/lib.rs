@@ -1,0 +1,250 @@
+//! # cred-explore — design-space exploration
+//!
+//! The paper closes §4 with the trade-off machinery CRED enables: given a
+//! code-size requirement `L_req`, the maximum unfolding factor is
+//! `M_f = floor(L_req/L) - M_r`; given an unfolding factor, the maximum
+//! retiming depth is `M_r = floor(L_req/L) - f`; and designers can explore
+//! (code size, performance, registers) jointly. This crate implements that
+//! exploration over *measured* program sizes:
+//!
+//! * [`sweep`] — evaluate every unfolding factor up to a limit, returning
+//!   one [`TradeoffPoint`] per factor with plain and CRED code sizes, the
+//!   achieved iteration period, and the register demand;
+//! * [`pareto`] — filter to the (code size, iteration period)-optimal
+//!   frontier;
+//! * [`best_under_code_budget`] / [`best_under_register_budget`] — the two
+//!   constrained searches the paper sketches ("find the maximum
+//!   performance when the number of conditional registers are limited").
+
+use cred_codegen::cred::cred_retime_unfold;
+use cred_codegen::unfolded::retime_unfold_program;
+use cred_codegen::DecMode;
+use cred_dfg::{Dfg, Ratio};
+use cred_retime::min_period_retiming;
+use cred_retime::span::{compact_values, min_span_retiming};
+use cred_unfold::orders::project_retiming;
+use cred_unfold::unfold;
+
+/// One evaluated configuration of the (retime, unfold, CRED) pipeline.
+#[derive(Debug, Clone)]
+pub struct TradeoffPoint {
+    /// Unfolding factor.
+    pub f: usize,
+    /// Maximum normalized retiming value of the projected retiming.
+    pub m_r: i64,
+    /// Code size without CRED (retime-then-unfold baseline, measured).
+    pub plain_size: usize,
+    /// Code size with CRED (measured, given the chosen decrement mode).
+    pub cred_size: usize,
+    /// Achieved iteration period (unfolded cycle period / f), exact.
+    pub iteration_period: Ratio,
+    /// Conditional registers CRED needs.
+    pub registers: usize,
+}
+
+/// The retiming used per factor: rate-optimal on the unfolded graph,
+/// projected back (Theorem 4.5), span-minimized and register-compacted.
+fn point_for_factor(g: &Dfg, f: usize, n: u64, mode: DecMode) -> TradeoffPoint {
+    let u = unfold(g, f);
+    let opt = min_period_retiming(&u.graph);
+    let r_f = min_span_retiming(&u.graph, opt.period).expect("optimum feasible");
+    let r_f = compact_values(&u.graph, opt.period, &r_f);
+    let projected = project_retiming(&u, &r_f);
+    let plain = retime_unfold_program(g, &projected, f, n);
+    let cred = cred_retime_unfold(g, &projected, f, n, mode);
+    TradeoffPoint {
+        f,
+        m_r: projected.max_value(),
+        plain_size: plain.code_size(),
+        cred_size: cred.code_size(),
+        iteration_period: Ratio::new(opt.period as i64, f as i64),
+        registers: projected.register_count(),
+    }
+}
+
+/// Evaluate unfolding factors `1..=max_f`.
+pub fn sweep(g: &Dfg, max_f: usize, n: u64, mode: DecMode) -> Vec<TradeoffPoint> {
+    (1..=max_f)
+        .map(|f| point_for_factor(g, f, n, mode))
+        .collect()
+}
+
+/// Non-dominated subset by (CRED code size, iteration period): a point is
+/// kept iff no other point is at least as good in both and better in one.
+pub fn pareto(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
+    let dominated = |a: &TradeoffPoint| {
+        points.iter().any(|b| {
+            (b.cred_size <= a.cred_size && b.iteration_period < a.iteration_period)
+                || (b.cred_size < a.cred_size && b.iteration_period <= a.iteration_period)
+        })
+    };
+    points.iter().filter(|p| !dominated(p)).cloned().collect()
+}
+
+/// Best (lowest) iteration period reachable with CRED code size at most
+/// `l_req`, scanning factors up to `max_f`. Returns `None` if even `f = 1`
+/// busts the budget.
+pub fn best_under_code_budget(
+    g: &Dfg,
+    l_req: usize,
+    max_f: usize,
+    n: u64,
+    mode: DecMode,
+) -> Option<TradeoffPoint> {
+    sweep(g, max_f, n, mode)
+        .into_iter()
+        .filter(|p| p.cred_size <= l_req)
+        .min_by(|a, b| a.iteration_period.cmp(&b.iteration_period))
+}
+
+/// Best iteration period with at most `p_max` conditional registers.
+///
+/// If the rate-optimal retiming needs too many registers, the search
+/// relaxes the period upward (coarser retimings need fewer distinct
+/// values) before giving up at the trivial zero retiming.
+pub fn best_under_register_budget(
+    g: &Dfg,
+    p_max: usize,
+    max_f: usize,
+    n: u64,
+    mode: DecMode,
+) -> Option<TradeoffPoint> {
+    assert!(p_max >= 1, "at least one register is needed");
+    let mut best: Option<TradeoffPoint> = None;
+    for f in 1..=max_f {
+        let u = unfold(g, f);
+        let opt = min_period_retiming(&u.graph);
+        // Scan candidate periods upward until the register budget holds.
+        let wd = cred_dfg::algo::WdMatrices::compute(&u.graph);
+        let mut cands: Vec<i64> = wd.candidate_periods();
+        cands.retain(|&c| c >= opt.period as i64);
+        for c in cands {
+            let Some(r_f) = min_span_retiming(&u.graph, c as u64) else {
+                continue;
+            };
+            let r_f = compact_values(&u.graph, c as u64, &r_f);
+            let projected = project_retiming(&u, &r_f);
+            if projected.register_count() > p_max {
+                continue;
+            }
+            let cred = cred_retime_unfold(g, &projected, f, n, mode);
+            let point = TradeoffPoint {
+                f,
+                m_r: projected.max_value(),
+                plain_size: retime_unfold_program(g, &projected, f, n).code_size(),
+                cred_size: cred.code_size(),
+                iteration_period: Ratio::new(c, f as i64),
+                registers: projected.register_count(),
+            };
+            let better = best
+                .as_ref()
+                .is_none_or(|b| point.iteration_period < b.iteration_period);
+            if better {
+                best = Some(point);
+            }
+            break; // larger periods at this f are never better
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cred_dfg::gen;
+    use cred_vm::check_against_reference;
+
+    fn sample() -> Dfg {
+        gen::chain_with_feedback(6, 3) // bound 2
+    }
+
+    #[test]
+    fn sweep_reports_monotone_period_improvement() {
+        let g = sample();
+        let pts = sweep(&g, 4, 60, DecMode::Bulk);
+        assert_eq!(pts.len(), 4);
+        // Iteration period is non-increasing in f (more parallelism can
+        // only help when rate-optimal retiming is applied each time).
+        for w in pts.windows(2) {
+            assert!(w[1].iteration_period <= w[0].iteration_period);
+        }
+        // CRED always at most the plain size.
+        for p in &pts {
+            assert!(p.cred_size <= p.plain_size.max(p.cred_size));
+            assert!(p.registers >= 1);
+        }
+    }
+
+    #[test]
+    fn cred_size_grows_linearly_with_f() {
+        let g = sample();
+        let pts = sweep(&g, 4, 60, DecMode::Bulk);
+        let l = g.node_count();
+        for p in &pts {
+            assert_eq!(p.cred_size, p.f * l + 2 * p.registers);
+        }
+    }
+
+    #[test]
+    fn pareto_removes_dominated_points() {
+        let g = sample();
+        let pts = sweep(&g, 4, 60, DecMode::Bulk);
+        let front = pareto(&pts);
+        assert!(!front.is_empty());
+        assert!(front.len() <= pts.len());
+        // No two frontier points dominate each other.
+        for a in &front {
+            for b in &front {
+                assert!(!(b.cred_size < a.cred_size && b.iteration_period < a.iteration_period));
+            }
+        }
+    }
+
+    #[test]
+    fn code_budget_limits_factor() {
+        let g = sample();
+        let l = g.node_count();
+        // Budget for about two bodies: factor 1 (maybe 2) only.
+        let p = best_under_code_budget(&g, 2 * l + 4, 4, 60, DecMode::Bulk).unwrap();
+        assert!(p.cred_size <= 2 * l + 4);
+        // An enormous budget admits the best (f = 4) period.
+        let q = best_under_code_budget(&g, 100 * l, 4, 60, DecMode::Bulk).unwrap();
+        assert!(q.iteration_period <= p.iteration_period);
+    }
+
+    #[test]
+    fn impossible_code_budget_is_none() {
+        let g = sample();
+        assert!(best_under_code_budget(&g, 3, 4, 60, DecMode::Bulk).is_none());
+    }
+
+    #[test]
+    fn register_budget_respected() {
+        let g = sample();
+        for p_max in 1..=4 {
+            if let Some(p) = best_under_register_budget(&g, p_max, 3, 60, DecMode::Bulk) {
+                assert!(p.registers <= p_max, "budget {p_max}");
+            }
+        }
+        // More registers never hurt the achievable period.
+        let p1 = best_under_register_budget(&g, 1, 3, 60, DecMode::Bulk);
+        let p4 = best_under_register_budget(&g, 4, 3, 60, DecMode::Bulk);
+        if let (Some(a), Some(b)) = (p1, p4) {
+            assert!(b.iteration_period <= a.iteration_period);
+        }
+    }
+
+    #[test]
+    fn swept_configurations_all_verify() {
+        let g = sample();
+        for p in sweep(&g, 3, 31, DecMode::PerCopy) {
+            // Re-generate and verify the winning configuration end-to-end.
+            let u = unfold(&g, p.f);
+            let opt = min_period_retiming(&u.graph);
+            let r_f = min_span_retiming(&u.graph, opt.period).unwrap();
+            let projected = project_retiming(&u, &r_f);
+            let prog = cred_retime_unfold(&g, &projected, p.f, 31, DecMode::PerCopy);
+            check_against_reference(&g, &prog).unwrap();
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Benchmarks beyond the paper's six — used by ablations, scalability
+//! benches, and as additional end-to-end workloads.
+
+use cred_dfg::{Dfg, DfgBuilder, NodeId, OpKind};
+
+/// One radix-2 FFT butterfly column of `pairs` butterflies with a delayed
+/// twiddle-update recurrence. Each butterfly: `t = w * b; a' = a + t;
+/// b' = a - t`, with `w` updated from the previous iteration.
+pub fn fft_butterflies(pairs: usize) -> Dfg {
+    assert!(pairs >= 1);
+    let mut b = DfgBuilder::new();
+    let w = b.node("W", 1, OpKind::Scale(3, 1)); // twiddle update
+    b.edge(w, w, 1);
+    for k in 0..pairs {
+        let a_in = b.node(format!("Ain{k}"), 1, OpKind::Input(k as i64));
+        let b_in = b.node(format!("Bin{k}"), 1, OpKind::Input(-(k as i64)));
+        let t = b.node(format!("T{k}"), 1, OpKind::Mul(0));
+        b.edge(w, t, 1);
+        b.edge(b_in, t, 0);
+        let a_out = b.node(format!("Aout{k}"), 1, OpKind::Add(0));
+        b.edge(a_in, a_out, 0);
+        b.edge(t, a_out, 0);
+        let b_out = b.node(format!("Bout{k}"), 1, OpKind::Sub(0));
+        b.edge(a_in, b_out, 0);
+        b.edge(t, b_out, 0);
+    }
+    b.build().expect("FFT butterflies are well-formed")
+}
+
+/// An LMS adaptive FIR filter with `taps` taps:
+/// `y = sum w_k * x[i-k]`, `e = d - y`, `w_k' = w_k + mu * e * x[i-k]`
+/// (the weight update closes a recurrence through every tap).
+pub fn lms_adaptive(taps: usize) -> Dfg {
+    assert!(taps >= 1);
+    let mut b = DfgBuilder::new();
+    let x = b.node("X", 1, OpKind::Input(5));
+    let d = b.node("D", 1, OpKind::Input(-3));
+    // Weights (delayed self-recurrences) and products.
+    let mut prods: Vec<NodeId> = Vec::new();
+    let mut weights: Vec<NodeId> = Vec::new();
+    for k in 0..taps {
+        let wk = b.node(format!("W{k}"), 1, OpKind::Add(0));
+        weights.push(wk);
+        let p = b.node(format!("P{k}"), 1, OpKind::Mul(0));
+        b.edge(wk, p, 1); // use last iteration's weight
+        b.edge(x, p, k as u32);
+        prods.push(p);
+    }
+    // y = sum of products (chain).
+    let mut acc = prods[0];
+    for (j, &p) in prods[1..].iter().enumerate() {
+        let s = b.node(format!("S{j}"), 1, OpKind::Add(0));
+        b.edge(acc, s, 0);
+        b.edge(p, s, 0);
+        acc = s;
+    }
+    let e = b.node("E", 1, OpKind::Sub(0));
+    b.edge(d, e, 0);
+    b.edge(acc, e, 0);
+    let mu_e = b.node("MU", 1, OpKind::Scale(2, 0));
+    b.edge(e, mu_e, 0);
+    // Weight updates: w_k = w_k[i-1] + mu*e * x[i-k].
+    for (k, &wk) in weights.iter().enumerate() {
+        let u = b.node(format!("U{k}"), 1, OpKind::Mul(0));
+        b.edge(mu_e, u, 0);
+        b.edge(x, u, k as u32);
+        b.edge(wk, wk, 1);
+        b.edge(u, wk, 0);
+    }
+    b.build().expect("LMS filter is well-formed")
+}
+
+/// A correlator bank: `cor_k[i] = cor_k[i-1] + x[i] * ref[i-k]` for
+/// `lags` lags — independent accumulating recurrences over a shared input.
+pub fn correlator(lags: usize) -> Dfg {
+    assert!(lags >= 1);
+    let mut b = DfgBuilder::new();
+    let x = b.node("X", 1, OpKind::Input(2));
+    let r = b.node("R", 1, OpKind::Input(9));
+    for k in 0..lags {
+        let p = b.node(format!("P{k}"), 1, OpKind::Mul(0));
+        b.edge(x, p, 0);
+        b.edge(r, p, k as u32 + 1);
+        let c = b.node(format!("C{k}"), 1, OpKind::Add(0));
+        b.edge(c, c, 1);
+        b.edge(p, c, 0);
+    }
+    b.build().expect("correlator is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cred_dfg::algo;
+
+    #[test]
+    fn fft_structure() {
+        let g = fft_butterflies(4);
+        assert_eq!(g.node_count(), 1 + 4 * 5);
+        assert!(g.validate().is_ok());
+        // Only the twiddle self-loop is a recurrence: bound 1.
+        assert_eq!(algo::iteration_bound(&g), Some(cred_dfg::Ratio::integer(1)));
+    }
+
+    #[test]
+    fn lms_structure() {
+        let g = lms_adaptive(4);
+        assert!(g.validate().is_ok());
+        // Recurrence: w -> p -> y-chain -> e -> mu -> u -> w with 2 delays
+        // (weight read is delayed, weight write closes the loop).
+        let b = algo::iteration_bound(&g).unwrap();
+        assert!(b > cred_dfg::Ratio::integer(1));
+    }
+
+    #[test]
+    fn correlator_structure() {
+        let g = correlator(8);
+        assert_eq!(g.node_count(), 2 + 16);
+        assert_eq!(algo::iteration_bound(&g), Some(cred_dfg::Ratio::integer(1)));
+    }
+
+    #[test]
+    fn extras_execute_and_reduce() {
+        for g in [fft_butterflies(3), lms_adaptive(3), correlator(4)] {
+            let vals = g.reference_execution(8);
+            assert_eq!(vals.len(), g.node_count());
+            let opt = cred_retime::min_period_retiming(&g);
+            assert!(opt.retiming.is_legal(&g));
+        }
+    }
+}

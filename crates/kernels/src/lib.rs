@@ -1,0 +1,32 @@
+//! # cred-kernels — the paper's DSP benchmark suite
+//!
+//! The paper evaluates on six classic DSP loop kernels (Tables 1–2) plus a
+//! non-unit-time example from Chao–Sha (Figure 8, Table 3). It publishes
+//! only node counts, not netlists, so each benchmark here is reconstructed
+//! as the canonical filter structure of that name with the paper's exact
+//! instruction count `L`:
+//!
+//! | benchmark | `L` | construction |
+//! |---|---|---|
+//! | [`iir_filter`] | 8 | second-order (biquad) direct-form II section |
+//! | [`differential_equation`] | 11 | the HAL `y'' + 3xy' + 3y = 0` solver |
+//! | [`all_pole_filter`] | 15 | three cascaded all-pole sections |
+//! | [`elliptic_filter`] | 34 | fifth-order elliptic wave filter (26 add / 8 mul) |
+//! | [`lattice_filter`] | 26 | 4-stage normalized lattice |
+//! | [`volterra_filter`] | 27 | quadratic Volterra kernel, memory 3 |
+//! | [`chao_sha_fig8`] | 5 | 5-node cycle, times summing 27 over 2 delays |
+//!
+//! All code-size results depend only on `(L, M_r, P_r, f, n)`; the measured
+//! `M_r`/`P_r` of these reconstructions are compared cell-by-cell with the
+//! paper in EXPERIMENTS.md.
+//!
+//! [`all_benchmarks`] returns the Table 1/2 suite in paper order.
+
+mod extra;
+mod filters;
+
+pub use extra::{correlator, fft_butterflies, lms_adaptive};
+pub use filters::{
+    all_benchmarks, all_pole_filter, chao_sha_fig8, differential_equation, elliptic_filter,
+    fir_filter, iir_filter, lattice_filter, volterra_filter,
+};

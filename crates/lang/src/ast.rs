@@ -1,0 +1,77 @@
+//! Abstract syntax of the loop-kernel language.
+
+/// A reference `Name[i - delay]` (delay 0 means `Name[i]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ref {
+    /// Array (node) name.
+    pub name: String,
+    /// Delay `k` in `Name[i-k]`, `k >= 0`.
+    pub delay: u32,
+}
+
+/// One multiplicative term: a product of references and an integer
+/// coefficient (folded from literal factors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Term {
+    /// `+1` or `-1`, from the additive context.
+    pub sign: i64,
+    /// Folded product of integer literal factors.
+    pub coeff: i64,
+    /// Reference factors, in source order.
+    pub refs: Vec<Ref>,
+}
+
+/// A sum of terms (the right-hand side of a statement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// Terms in source order.
+    pub terms: Vec<Term>,
+}
+
+/// `Name[i] = expr ;` with an optional `@ time` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Defined array.
+    pub name: String,
+    /// Right-hand side.
+    pub expr: Expr,
+    /// Computation time (default 1).
+    pub time: u32,
+    /// 1-based source line, for diagnostics.
+    pub line: u32,
+}
+
+/// A whole `loop { ... }` kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopKernel {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_types_construct() {
+        let r = Ref {
+            name: "A".into(),
+            delay: 2,
+        };
+        let t = Term {
+            sign: 1,
+            coeff: 3,
+            refs: vec![r],
+        };
+        let e = Expr { terms: vec![t] };
+        let s = Stmt {
+            name: "B".into(),
+            expr: e,
+            time: 1,
+            line: 1,
+        };
+        let k = LoopKernel { stmts: vec![s] };
+        assert_eq!(k.stmts.len(), 1);
+        assert_eq!(k.stmts[0].expr.terms[0].refs[0].delay, 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Hand-rolled tokenizer with line tracking and `//` comments.
+
+use std::fmt;
+
+/// Lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier (`A`, `loop`, `i`, ...). Keywords are identified by the
+    /// parser.
+    Ident(String),
+    /// Non-negative integer literal.
+    Int(i64),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `;`
+    Semi,
+    /// `@`
+    At,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(n) => write!(f, "{n}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Eq => write!(f, "="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Semi => write!(f, ";"),
+            Token::At => write!(f, "@"),
+        }
+    }
+}
+
+/// Tokenization failure with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: u32,
+    /// Offending character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: unexpected character '{}'", self.line, self.ch)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src`, returning `(token, line)` pairs.
+pub fn tokenize(src: &str) -> Result<Vec<(Token, u32)>, LexError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(LexError { line, ch: '/' });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Token::Ident(s), line));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(&c) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        n = n * 10 + d as i64;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Token::Int(n), line));
+            }
+            _ => {
+                chars.next();
+                let tok = match c {
+                    '[' => Token::LBracket,
+                    ']' => Token::RBracket,
+                    '{' => Token::LBrace,
+                    '}' => Token::RBrace,
+                    '=' => Token::Eq,
+                    '+' => Token::Plus,
+                    '-' => Token::Minus,
+                    '*' => Token::Star,
+                    ';' => Token::Semi,
+                    '@' => Token::At,
+                    ch => return Err(LexError { line, ch }),
+                };
+                out.push((tok, line));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        assert_eq!(
+            toks("A[i] = B[i-3]*3;"),
+            vec![
+                Token::Ident("A".into()),
+                Token::LBracket,
+                Token::Ident("i".into()),
+                Token::RBracket,
+                Token::Eq,
+                Token::Ident("B".into()),
+                Token::LBracket,
+                Token::Ident("i".into()),
+                Token::Minus,
+                Token::Int(3),
+                Token::RBracket,
+                Token::Star,
+                Token::Int(3),
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = tokenize("loop { // header\n  x_1[i] = 5; }\n").unwrap();
+        assert_eq!(ts[0], (Token::Ident("loop".into()), 1));
+        // x_1 appears on line 2.
+        assert_eq!(ts[2], (Token::Ident("x_1".into()), 2));
+    }
+
+    #[test]
+    fn at_annotation() {
+        assert!(toks("@ 3").contains(&Token::At));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = tokenize("A[i] = ?;").unwrap_err();
+        assert_eq!(err.ch, '?');
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn lone_slash_rejected() {
+        assert!(tokenize("a / b").is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Un-parsing: render a DFG back as loop-kernel source. Inverse of
+//! [`crate::parse`] for every graph whose node names are identifiers and
+//! whose operations came from the supported shapes.
+
+use cred_dfg::{Dfg, NodeId, OpKind};
+use std::fmt::Write as _;
+
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn render_ref(g: &Dfg, v: NodeId, delay: u32) -> String {
+    if delay == 0 {
+        format!("{}[i]", sanitize(&g.node(v).name))
+    } else {
+        format!("{}[i-{delay}]", sanitize(&g.node(v).name))
+    }
+}
+
+fn const_tail(c: i64) -> String {
+    match c.cmp(&0) {
+        std::cmp::Ordering::Greater => format!(" + {c}"),
+        std::cmp::Ordering::Less => format!(" - {}", -c),
+        std::cmp::Ordering::Equal => String::new(),
+    }
+}
+
+/// Render `g` as `loop { ... }` source text.
+pub fn unparse(g: &Dfg) -> String {
+    let mut out = String::from("loop {\n");
+    for v in g.node_ids() {
+        let nd = g.node(v);
+        let srcs: Vec<String> = g
+            .in_edges(v)
+            .iter()
+            .map(|&e| {
+                let ed = g.edge(e);
+                render_ref(g, ed.src, ed.delay)
+            })
+            .collect();
+        let rhs = match nd.op {
+            OpKind::Input(c) => format!("{c}"),
+            OpKind::Add(c) => {
+                if srcs.is_empty() {
+                    format!("{c}")
+                } else {
+                    format!("{}{}", srcs.join(" + "), const_tail(c))
+                }
+            }
+            OpKind::Sub(c) => format!("{}{}", srcs.join(" - "), const_tail(c)),
+            OpKind::Mul(c) => format!("{}{}", srcs.join(" * "), const_tail(c)),
+            OpKind::Mac(c) => {
+                if srcs.len() >= 2 {
+                    let mut s = format!("{} * {}", srcs[0], srcs[1]);
+                    for r in &srcs[2..] {
+                        let _ = write!(s, " + {r}");
+                    }
+                    s.push_str(&const_tail(c));
+                    s
+                } else {
+                    format!("{}{}", srcs.join(" + "), const_tail(c))
+                }
+            }
+            OpKind::Scale(k, c) => format!("{k} * {}{}", srcs.join(" + "), const_tail(c)),
+            OpKind::ScaledMul(k, c) => {
+                format!("{k} * {}{}", srcs.join(" * "), const_tail(c))
+            }
+        };
+        let time = if nd.time == 1 {
+            String::new()
+        } else {
+            format!(" @ {}", nd.time)
+        };
+        let _ = writeln!(out, "    {}[i] = {rhs}{time};", sanitize(&nd.name));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn roundtrip(src: &str) {
+        let g1 = parse(src).unwrap();
+        let text = unparse(&g1);
+        let g2 = parse(&text).unwrap_or_else(|e| panic!("unparse output rejected: {e}\n{text}"));
+        assert_eq!(g1.node_count(), g2.node_count(), "{text}");
+        assert_eq!(g1.edge_count(), g2.edge_count(), "{text}");
+        for v in g1.node_ids() {
+            assert_eq!(g1.node(v).op, g2.node(v).op, "{text}");
+            assert_eq!(g1.node(v).time, g2.node(v).time, "{text}");
+        }
+        for e in g1.edge_ids() {
+            assert_eq!(g1.edge(e), g2.edge(e), "{text}");
+        }
+        // Same semantics, too.
+        assert_eq!(g1.reference_execution(9), g2.reference_execution(9));
+    }
+
+    #[test]
+    fn roundtrip_figure4() {
+        roundtrip(
+            "loop {
+                A[i] = B[i-3] * 3;
+                B[i] = A[i] + 7;
+                C[i] = B[i] * 2;
+            }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_figure3() {
+        roundtrip(
+            "loop {
+                A[i] = E[i-4] + 9;
+                B[i] = 5 * A[i];
+                C[i] = A[i] + B[i-2];
+                D[i] = A[i] * C[i];
+                E[i] = D[i] + 30;
+            }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_all_shapes() {
+        roundtrip(
+            "loop {
+                X[i] = 11;
+                A[i] = X[i] + 2 @ 3;
+                S[i] = A[i] - X[i-1] - X[i-2];
+                M[i] = A[i] * S[i-1] + 4;
+                K[i] = 7 * A[i-1];
+                P[i] = 3 * A[i-1] * S[i-1] - 2;
+                Q[i] = A[i] * S[i] + K[i-1] + P[i-2] + 1;
+            }",
+        );
+    }
+
+    #[test]
+    fn sanitizes_awkward_names() {
+        let mut b = cred_dfg::DfgBuilder::new();
+        let a = b.node("A.0", 1, OpKind::Add(1));
+        b.edge(a, a, 1);
+        let g = b.build().unwrap();
+        let text = unparse(&g);
+        assert!(text.contains("A_0[i]"));
+        assert!(crate::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn negative_constant_renders_as_subtraction() {
+        let g = parse("loop { A[i] = A[i-1] - 5; }").unwrap();
+        let text = unparse(&g);
+        assert!(text.contains("A[i-1] - 5"), "{text}");
+    }
+}

@@ -1,0 +1,116 @@
+//! FEAS: the iterative feasibility test for a target clock period
+//! (Leiserson–Saxe), used here as an independent oracle cross-checking the
+//! constraint-based [`crate::minperiod`] implementation.
+//!
+//! For a target period `c`, repeat `|V| - 1` times: compute `Delta(v)` (the
+//! longest zero-delay path ending at `v` in the *currently retimed* graph)
+//! and push one delay through every node with `Delta(v) > c` — in the
+//! paper's sign convention, *decrement* `r(v)` (a delay is drawn from `v`'s
+//! outgoing edges onto its incoming edges, cutting long paths that end at
+//! `v`). If the resulting graph meets the period, `c` is feasible.
+
+use crate::Retiming;
+use cred_dfg::algo::{cycle_period, zero_delay_longest_path_to};
+use cred_dfg::Dfg;
+
+/// Run FEAS for target period `c`. Returns a normalized legal retiming
+/// achieving `cycle_period <= c`, or `None` if `c` is infeasible.
+pub fn feas(g: &Dfg, c: u64) -> Option<Retiming> {
+    let n = g.node_count();
+    let mut r = Retiming::zero(n);
+    let mut current = g.clone();
+    for _ in 0..n.saturating_sub(1) {
+        let delta = zero_delay_longest_path_to(&current).expect("retimed graph stays well-formed");
+        let mut changed = false;
+        for v in g.node_ids() {
+            if delta[v.index()] > c {
+                r.set(v, r.get(v) - 1);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        current = r.apply(g);
+    }
+    if cycle_period(&current).expect("well-formed") <= c {
+        let mut r = r;
+        r.normalize();
+        Some(r)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minperiod::{min_period_retiming, retime_to_period};
+    use cred_dfg::{algo, gen, DfgBuilder};
+
+    #[test]
+    fn feas_figure1() {
+        let mut b = DfgBuilder::new();
+        let a = b.unit("A");
+        let bb = b.unit("B");
+        b.edge(a, bb, 0);
+        b.edge(bb, a, 2);
+        let g = b.build().unwrap();
+        let r = feas(&g, 1).expect("period 1 feasible");
+        assert_eq!(algo::cycle_period(&r.apply(&g)), Some(1));
+    }
+
+    #[test]
+    fn feas_rejects_below_bound() {
+        let g = gen::chain_with_feedback(6, 2); // iteration bound 3
+        assert!(feas(&g, 2).is_none());
+        assert!(feas(&g, 3).is_some());
+    }
+
+    #[test]
+    fn feas_agrees_with_opt_on_random_graphs() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let g = gen::random_dfg(
+                &mut rng,
+                &gen::RandomDfgConfig {
+                    nodes: 9,
+                    max_time: 4,
+                    max_delay: 3,
+                    ..Default::default()
+                },
+            );
+            let opt = min_period_retiming(&g);
+            // FEAS must accept the optimal period and reject one below it.
+            assert!(
+                feas(&g, opt.period).is_some(),
+                "FEAS rejected OPT period {}",
+                opt.period
+            );
+            if opt.period > 1 {
+                assert!(
+                    feas(&g, opt.period - 1).is_none(),
+                    "FEAS accepted sub-optimal period {}",
+                    opt.period - 1
+                );
+                assert!(retime_to_period(&g, opt.period - 1).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn feas_result_is_legal_and_normalized() {
+        let g = gen::chain_with_feedback(8, 4);
+        let r = feas(&g, 2).expect("8 nodes / 4 delays: period 2 feasible");
+        assert!(r.is_legal(&g));
+        assert!(r.is_normalized());
+    }
+
+    #[test]
+    fn trivially_feasible_period_returns_zero_retiming() {
+        let g = gen::chain_with_feedback(4, 1);
+        let r = feas(&g, 10).unwrap();
+        assert_eq!(r.values(), &[0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # cred-retime — retiming engine
+//!
+//! Retiming redistributes the delays of a DFG to shorten its cycle period;
+//! every retiming operation corresponds to a software-pipelining operation
+//! on the loop (paper §2.2).
+//!
+//! ## Sign convention
+//!
+//! This crate follows the paper, *not* Leiserson–Saxe: `r(v)` is the number
+//! of delays pushed **forward** through `v` (drawn from its incoming edges,
+//! added to its outgoing edges), so for an edge `e(u -> v)`
+//!
+//! ```text
+//! d_r(e) = d(e) + r(u) - r(v)
+//! ```
+//!
+//! and a node with normalized retiming value `r(v)` contributes `r(v)`
+//! instruction copies to the prologue and `M_r - r(v)` copies to the
+//! epilogue, where `M_r = max_u r(u)` (paper §2.2). The Leiserson–Saxe `r`
+//! is the negation of this one.
+//!
+//! ## Contents
+//!
+//! * [`Retiming`] — a retiming function with legality checking,
+//!   normalization, application, and the prologue/epilogue bookkeeping the
+//!   code-size theorems rest on;
+//! * [`constraints`] — a difference-constraint solver (Bellman–Ford);
+//! * [`minperiod`] — the OPT algorithm (binary search over W/D candidate
+//!   periods) plus fixed-period retiming;
+//! * [`feas`] — the FEAS algorithm, an independent oracle for achievable
+//!   periods;
+//! * [`span`] — post-passes minimizing `M_r` (span) and heuristically
+//!   compacting the number of distinct retiming values `|N_r|`
+//!   (= conditional registers needed, Theorem 4.3);
+//! * [`registers`] — exact branch-and-bound minimization of `|N_r|`.
+
+pub mod constraints;
+pub mod feas;
+pub mod minperiod;
+pub mod registers;
+mod retiming;
+pub mod span;
+
+pub use constraints::ConstraintSystem;
+pub use minperiod::{min_period_retiming, retime_to_period, MinPeriodResult};
+pub use retiming::Retiming;

@@ -1,0 +1,299 @@
+//! The retiming function and its bookkeeping.
+
+use cred_dfg::{Dfg, NodeId};
+use std::collections::BTreeSet;
+
+/// A retiming function `r : V -> Z`, stored densely by node index.
+///
+/// Uses the paper's sign convention: `d_r(e) = d(e) + r(src) - r(dst)`;
+/// `r(v)` delays pushed forward through `v` shift every copy of `v` up by
+/// `r(v)` iterations, putting `r(v)` copies into the prologue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Retiming {
+    values: Vec<i64>,
+}
+
+impl Retiming {
+    /// The identity (all-zero) retiming for a graph with `n` nodes.
+    pub fn zero(n: usize) -> Self {
+        Retiming { values: vec![0; n] }
+    }
+
+    /// Build from raw per-node values (indexed by `NodeId`).
+    pub fn from_values(values: Vec<i64>) -> Self {
+        Retiming { values }
+    }
+
+    /// Number of nodes this retiming covers.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the retiming covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// `r(v)`.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> i64 {
+        self.values[v.index()]
+    }
+
+    /// Set `r(v)`.
+    #[inline]
+    pub fn set(&mut self, v: NodeId, r: i64) {
+        self.values[v.index()] = r;
+    }
+
+    /// Raw values slice.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// The retimed delay of edge `e`: `d(e) + r(src) - r(dst)`.
+    pub fn retimed_delay(&self, g: &Dfg, e: cred_dfg::EdgeId) -> i64 {
+        let ed = g.edge(e);
+        ed.delay as i64 + self.get(ed.src) - self.get(ed.dst)
+    }
+
+    /// A retiming is legal for `g` iff every retimed delay is non-negative.
+    pub fn is_legal(&self, g: &Dfg) -> bool {
+        assert_eq!(self.values.len(), g.node_count(), "size mismatch");
+        g.edge_ids().all(|e| self.retimed_delay(g, e) >= 0)
+    }
+
+    /// Apply the retiming, producing the retimed graph `G_r`.
+    ///
+    /// # Panics
+    /// Panics if the retiming is illegal (a retimed delay would be
+    /// negative).
+    pub fn apply(&self, g: &Dfg) -> Dfg {
+        let mut out = g.clone();
+        for e in g.edge_ids() {
+            let d = self.retimed_delay(g, e);
+            assert!(d >= 0, "illegal retiming: edge {e} would get delay {d}");
+            out.edge_mut(e).delay = d as u32;
+        }
+        out
+    }
+
+    /// Normalize in place so the minimum value is zero (paper §2.2:
+    /// "normalized retiming function"). Prologue/epilogue sizes are only
+    /// meaningful for normalized retimings.
+    pub fn normalize(&mut self) {
+        if let Some(&min) = self.values.iter().min() {
+            for v in &mut self.values {
+                *v -= min;
+            }
+        }
+    }
+
+    /// A normalized copy.
+    pub fn normalized(&self) -> Self {
+        let mut c = self.clone();
+        c.normalize();
+        c
+    }
+
+    /// True if the minimum value is zero (or the retiming is empty).
+    pub fn is_normalized(&self) -> bool {
+        self.values.iter().min().is_none_or(|&m| m == 0)
+    }
+
+    /// `M_r = max_u r(u)` (meaningful after normalization; for a normalized
+    /// retiming this is also the span).
+    pub fn max_value(&self) -> i64 {
+        self.values.iter().copied().max().unwrap_or(0)
+    }
+
+    /// `max r - min r`: the prologue depth after normalization.
+    pub fn span(&self) -> i64 {
+        match (self.values.iter().max(), self.values.iter().min()) {
+            (Some(&mx), Some(&mn)) => mx - mn,
+            _ => 0,
+        }
+    }
+
+    /// The set `N_r` of distinct retiming values. Its cardinality is the
+    /// number of conditional registers CRED needs (Theorem 4.3).
+    pub fn distinct_values(&self) -> BTreeSet<i64> {
+        self.values.iter().copied().collect()
+    }
+
+    /// `|N_r|` — conditional registers required for total code reduction.
+    pub fn register_count(&self) -> usize {
+        self.distinct_values().len()
+    }
+
+    /// Number of instruction copies in the prologue of the software-
+    /// pipelined loop: `sum_v r(v)` (requires a normalized retiming).
+    pub fn prologue_size(&self) -> i64 {
+        debug_assert!(self.is_normalized());
+        self.values.iter().sum()
+    }
+
+    /// Number of instruction copies in the epilogue: `sum_v (M_r - r(v))`
+    /// (requires a normalized retiming).
+    pub fn epilogue_size(&self) -> i64 {
+        debug_assert!(self.is_normalized());
+        let m = self.max_value();
+        self.values.iter().map(|&r| m - r).sum()
+    }
+
+    /// Code size of the software-pipelined loop program, counting every
+    /// node copy in prologue + kernel + epilogue (unit-size instructions):
+    /// `L + |V| * M_r` — the paper's Table 1 "Ret." column.
+    pub fn pipelined_code_size(&self, loop_body_size: usize) -> i64 {
+        debug_assert!(self.is_normalized());
+        loop_body_size as i64 + self.prologue_size() + self.epilogue_size()
+    }
+
+    /// Pointwise sum with another retiming (composition of two retimings of
+    /// the same graph).
+    pub fn compose(&self, other: &Retiming) -> Retiming {
+        assert_eq!(self.len(), other.len(), "size mismatch");
+        Retiming {
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cred_dfg::{algo, DfgBuilder};
+
+    fn figure1a() -> (Dfg, NodeId, NodeId) {
+        let mut b = DfgBuilder::new();
+        let a = b.unit("A");
+        let bb = b.unit("B");
+        b.edge(a, bb, 0);
+        b.edge(bb, a, 2);
+        (b.build().unwrap(), a, bb)
+    }
+
+    #[test]
+    fn figure1_retiming_is_legal_and_shortens_period() {
+        let (g, a, _) = figure1a();
+        let mut r = Retiming::zero(2);
+        r.set(a, 1);
+        assert!(r.is_legal(&g));
+        let gr = r.apply(&g);
+        // Figure 1(b): both edges now carry one delay; period drops 2 -> 1.
+        assert_eq!(algo::cycle_period(&g), Some(2));
+        assert_eq!(algo::cycle_period(&gr), Some(1));
+        for e in gr.edge_ids() {
+            assert_eq!(gr.edge(e).delay, 1);
+        }
+    }
+
+    #[test]
+    fn illegal_retiming_detected() {
+        let (g, _, bb) = figure1a();
+        let mut r = Retiming::zero(2);
+        r.set(bb, 1); // A->B edge would get delay -1
+        assert!(!r.is_legal(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal retiming")]
+    fn apply_panics_on_illegal() {
+        let (g, _, bb) = figure1a();
+        let mut r = Retiming::zero(2);
+        r.set(bb, 1);
+        let _ = r.apply(&g);
+    }
+
+    #[test]
+    fn cycle_delay_count_is_conserved() {
+        let (g, a, _) = figure1a();
+        let mut r = Retiming::zero(2);
+        r.set(a, 1);
+        let gr = r.apply(&g);
+        assert_eq!(g.total_delays(), gr.total_delays()); // single cycle
+    }
+
+    #[test]
+    fn normalize_shifts_min_to_zero() {
+        let mut r = Retiming::from_values(vec![-2, 0, 3]);
+        assert!(!r.is_normalized());
+        r.normalize();
+        assert_eq!(r.values(), &[0, 2, 5]);
+        assert!(r.is_normalized());
+        assert_eq!(r.max_value(), 5);
+        assert_eq!(r.span(), 5);
+    }
+
+    #[test]
+    fn normalization_preserves_retimed_delays() {
+        let (g, a, bb) = figure1a();
+        let mut r = Retiming::zero(2);
+        r.set(a, -1);
+        r.set(bb, -2);
+        let norm = r.normalized();
+        for e in g.edge_ids() {
+            assert_eq!(r.retimed_delay(&g, e), norm.retimed_delay(&g, e));
+        }
+    }
+
+    #[test]
+    fn prologue_epilogue_sizes() {
+        // Figure 3: r = {A:3, B:2, C:2, D:1, E:0}, 5 nodes.
+        let r = Retiming::from_values(vec![3, 2, 2, 1, 0]);
+        assert_eq!(r.max_value(), 3);
+        assert_eq!(r.prologue_size(), 8); // 3+2+2+1+0
+        assert_eq!(r.epilogue_size(), 7); // 0+1+1+2+3
+        assert_eq!(r.pipelined_code_size(5), 20);
+        assert_eq!(r.register_count(), 4); // {0,1,2,3}
+    }
+
+    #[test]
+    fn table1_code_size_formula() {
+        // S_ret = L + |V| * M_r when every node is one instruction.
+        for (l, m) in [(8usize, 1i64), (11, 2), (15, 3), (26, 2)] {
+            // A uniform retiming distribution: values 0..=m round-robin.
+            let vals: Vec<i64> = (0..l).map(|i| (i as i64) % (m + 1)).collect();
+            let r = Retiming::from_values(vals);
+            // prologue + epilogue = |V| * M_r regardless of distribution.
+            assert_eq!(r.prologue_size() + r.epilogue_size(), l as i64 * m,);
+            assert_eq!(r.pipelined_code_size(l), (l as i64) * (m + 1));
+        }
+    }
+
+    #[test]
+    fn distinct_values_and_registers() {
+        let r = Retiming::from_values(vec![0, 3, 4, 0, 3]);
+        let distinct: Vec<i64> = r.distinct_values().into_iter().collect();
+        assert_eq!(distinct, vec![0, 3, 4]);
+        assert_eq!(r.register_count(), 3);
+    }
+
+    #[test]
+    fn compose_adds_pointwise() {
+        let a = Retiming::from_values(vec![1, 0, 2]);
+        let b = Retiming::from_values(vec![0, 1, 1]);
+        assert_eq!(a.compose(&b).values(), &[1, 1, 3]);
+    }
+
+    #[test]
+    fn composition_of_legal_retimings_applies_sequentially() {
+        let (g, a, bb) = figure1a();
+        let mut r1 = Retiming::zero(2);
+        r1.set(a, 1);
+        let g1 = r1.apply(&g);
+        let mut r2 = Retiming::zero(2);
+        r2.set(bb, 1);
+        assert!(r2.is_legal(&g1));
+        let g2 = r2.apply(&g1);
+        let composed = r1.compose(&r2).apply(&g);
+        for e in g.edge_ids() {
+            assert_eq!(g2.edge(e).delay, composed.edge(e).delay);
+        }
+    }
+}

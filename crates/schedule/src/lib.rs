@@ -1,0 +1,31 @@
+//! # cred-schedule — static scheduling substrate
+//!
+//! Turns DFGs into static schedules (control-step assignments) under
+//! functional-unit resource constraints, and implements the schedule-driven
+//! retiming generator the paper keywords: **rotation scheduling**
+//! (Chao–Sha).
+//!
+//! * [`resources`] — functional-unit classes and machine configurations;
+//! * [`list`] — ASAP and resource-constrained list scheduling;
+//! * [`rotation`] — rotation scheduling: repeatedly retime the first
+//!   control step of the current schedule and reschedule, shortening the
+//!   loop body under resource constraints (each rotation *is* a retiming,
+//!   i.e. a software-pipelining step);
+//! * [`modulo`] — iterative modulo scheduling (the Rau/TI-style software
+//!   pipelining the paper's reference \[4\] targets) and the stage retiming
+//!   that connects modulo schedules to CRED;
+//! * [`vliw`] — VLIW word packing, used to check that the `setup` /
+//!   decrement instructions CRED inserts fit into free slots of the long
+//!   instruction words ("code size reduction does not hurt the performance
+//!   of an optimized loop", paper §3.2).
+
+pub mod list;
+pub mod modulo;
+pub mod resources;
+pub mod rotation;
+pub mod vliw;
+
+pub use list::{asap_schedule, list_schedule, StaticSchedule};
+pub use modulo::{modulo_schedule, ModuloSchedule};
+pub use resources::{fu_kind, FuConfig, FuKind};
+pub use rotation::{rotation_schedule, RotationResult};

@@ -1,0 +1,108 @@
+//! Functional-unit classes and machine resource configurations.
+
+use cred_dfg::OpKind;
+
+/// Functional-unit classes of the modeled VLIW datapath (a simplification
+/// of the TMS320C6000 split into arithmetic/logic units and multipliers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Adders/ALUs — execute `Add`, `Sub`, `Input`, and the predicate
+    /// `setup`/decrement instructions CRED inserts.
+    Alu,
+    /// Multipliers — execute `Mul` and `Mac`.
+    Mul,
+}
+
+/// Number of FU kinds (array-indexed configs).
+pub const FU_KINDS: usize = 2;
+
+impl FuKind {
+    /// Dense index for config arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FuKind::Alu => 0,
+            FuKind::Mul => 1,
+        }
+    }
+}
+
+/// The FU class executing an operation.
+pub fn fu_kind(op: OpKind) -> FuKind {
+    match op {
+        OpKind::Add(_) | OpKind::Sub(_) | OpKind::Input(_) => FuKind::Alu,
+        OpKind::Mul(_) | OpKind::Mac(_) | OpKind::Scale(..) | OpKind::ScaledMul(..) => FuKind::Mul,
+    }
+}
+
+/// A machine configuration: how many units of each kind issue per cycle.
+/// `None` means unlimited (resource-unconstrained scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    counts: [Option<usize>; FU_KINDS],
+}
+
+impl FuConfig {
+    /// Unlimited units of every kind.
+    pub fn unlimited() -> Self {
+        FuConfig {
+            counts: [None; FU_KINDS],
+        }
+    }
+
+    /// A machine with the given unit counts.
+    ///
+    /// # Panics
+    /// Panics if any count is zero (nothing could ever be scheduled).
+    pub fn with_units(alu: usize, mul: usize) -> Self {
+        assert!(alu >= 1 && mul >= 1, "FU counts must be at least 1");
+        FuConfig {
+            counts: [Some(alu), Some(mul)],
+        }
+    }
+
+    /// Units available for `kind`, `None` = unlimited.
+    pub fn units(&self, kind: FuKind) -> Option<usize> {
+        self.counts[kind.index()]
+    }
+
+    /// True if no kind is constrained.
+    pub fn is_unlimited(&self) -> bool {
+        self.counts.iter().all(Option::is_none)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_to_fu_mapping() {
+        assert_eq!(fu_kind(OpKind::Add(0)), FuKind::Alu);
+        assert_eq!(fu_kind(OpKind::Sub(1)), FuKind::Alu);
+        assert_eq!(fu_kind(OpKind::Input(2)), FuKind::Alu);
+        assert_eq!(fu_kind(OpKind::Mul(0)), FuKind::Mul);
+        assert_eq!(fu_kind(OpKind::Mac(0)), FuKind::Mul);
+    }
+
+    #[test]
+    fn unlimited_config() {
+        let c = FuConfig::unlimited();
+        assert!(c.is_unlimited());
+        assert_eq!(c.units(FuKind::Alu), None);
+    }
+
+    #[test]
+    fn bounded_config() {
+        let c = FuConfig::with_units(2, 1);
+        assert!(!c.is_unlimited());
+        assert_eq!(c.units(FuKind::Alu), Some(2));
+        assert_eq!(c.units(FuKind::Mul), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_units_rejected() {
+        let _ = FuConfig::with_units(0, 1);
+    }
+}

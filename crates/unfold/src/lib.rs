@@ -1,0 +1,18 @@
+//! # cred-unfold — loop unfolding engine
+//!
+//! Unfolding by factor `f` duplicates every node into `f` copies, exposing
+//! inter-iteration parallelism; it is required to reach fractional
+//! iteration bounds (paper §2.2). For an edge `e(u -> v)` with delay `d`,
+//! copy `v_j` (handling original iteration `f*(k-1) + j + 1` at new
+//! iteration `k`) reads from copy `u_{(j - d) mod f}` with delay
+//! `(d - j + ((j - d) mod f)) / f` — the standard transformation; the `f`
+//! edge copies' delays always sum back to `d` (delay conservation).
+//!
+//! [`orders`] builds the two pipeline orders the paper compares:
+//! *unfold-then-retime* (`G_{f,r}`) and *retime-then-unfold* (`G_{r,f}`,
+//! with the projected retiming `r_f(u) = sum_i r(u_i)` of Theorem 4.5).
+
+pub mod orders;
+mod unfolded;
+
+pub use unfolded::{unfold, Unfolded};

@@ -1,0 +1,27 @@
+//! # cred-vm — executable semantics and equivalence checking
+//!
+//! An interpreter for `cred-codegen`'s [`LoopProgram`]s with the paper's
+//! conditional-register semantics: a register is a pair `(value, bound)`;
+//! a guarded instruction executes iff `bound < value - offset <= 0`
+//! (the hardware compares against `-LC`, §3.2).
+//!
+//! The VM is deliberately strict — it is the checker that turns the
+//! paper's correctness theorems into executable tests:
+//!
+//! * every array element `v[1..=n]` must be written **exactly once**
+//!   (Theorems 4.1/4.2/4.6: each node executes exactly `n` times);
+//! * writes outside `1..=n` and double writes are errors (a guard that
+//!   fails to mask a prologue/epilogue overrun is caught immediately);
+//! * reads at indices `<= 0` return the initial value `0` (the paper's
+//!   `E[-3]`), reads beyond `n` or of not-yet-written elements are errors
+//!   (an instruction reordered across a dependence is caught);
+//! * [`check_against_reference`] then compares every element against the
+//!   direct DFG recurrence ([`cred_dfg::Dfg::reference_execution`]).
+//!
+//! [`LoopProgram`]: cred_codegen::LoopProgram
+
+mod machine;
+mod trace;
+
+pub use machine::{check_against_reference, execute, ExecError, ExecResult};
+pub use trace::{trace_loop, TraceEvent};

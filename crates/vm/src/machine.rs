@@ -1,0 +1,555 @@
+//! The interpreter and the reference-equivalence checker.
+
+use cred_codegen::{Guard, Inst, LoopProgram};
+use cred_dfg::Dfg;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Execution failure. Every variant indicates a *generator bug* (or a
+/// deliberately corrupted program in tests), never a data-dependent
+/// condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A write landed outside `1..=n` — a guard failed to mask an overrun.
+    OutOfRangeWrite {
+        /// Array (original node) name.
+        array: String,
+        /// Offending index.
+        index: i64,
+    },
+    /// An element was written twice — an instance was emitted twice.
+    DoubleWrite {
+        /// Array name.
+        array: String,
+        /// Offending index.
+        index: i64,
+    },
+    /// An in-range element was read before being written — an ordering or
+    /// window bug.
+    UseBeforeDef {
+        /// Array name.
+        array: String,
+        /// Offending index.
+        index: i64,
+    },
+    /// A read beyond `n`.
+    OutOfRangeRead {
+        /// Array name.
+        array: String,
+        /// Offending index.
+        index: i64,
+    },
+    /// A guard or decrement referenced a register never `setup`.
+    UnboundRegister(u32),
+    /// The loop structure itself is malformed (non-positive step).
+    InvalidLoop(&'static str),
+    /// After execution some element of `1..=n` was never written.
+    Incomplete {
+        /// Array name.
+        array: String,
+        /// First missing index.
+        index: i64,
+    },
+    /// Result mismatch against the DFG reference execution.
+    Mismatch {
+        /// Array name.
+        array: String,
+        /// Iteration index.
+        index: i64,
+        /// Value the program computed.
+        got: i64,
+        /// Value the recurrence defines.
+        expected: i64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfRangeWrite { array, index } => {
+                write!(f, "out-of-range write {array}[{index}]")
+            }
+            ExecError::DoubleWrite { array, index } => {
+                write!(f, "double write {array}[{index}]")
+            }
+            ExecError::UseBeforeDef { array, index } => {
+                write!(f, "use before def {array}[{index}]")
+            }
+            ExecError::OutOfRangeRead { array, index } => {
+                write!(f, "out-of-range read {array}[{index}]")
+            }
+            ExecError::UnboundRegister(r) => write!(f, "register p{} never setup", r + 1),
+            ExecError::InvalidLoop(why) => write!(f, "malformed loop: {why}"),
+            ExecError::Incomplete { array, index } => {
+                write!(f, "{array}[{index}] never computed")
+            }
+            ExecError::Mismatch {
+                array,
+                index,
+                got,
+                expected,
+            } => write!(f, "{array}[{index}] = {got}, reference says {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of a successful execution.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Final array contents: `arrays[v][i-1]` is `v`'s value at iteration
+    /// `i` (`1..=n`).
+    pub arrays: Vec<Vec<i64>>,
+    /// Dynamically executed compute instructions (guard-enabled only).
+    pub computes_executed: u64,
+    /// Dynamically executed (disabled) compute instructions.
+    pub computes_nullified: u64,
+}
+
+struct Machine<'p> {
+    p: &'p LoopProgram,
+    n: i64,
+    cells: Vec<Vec<Option<i64>>>,
+    regs: BTreeMap<u32, (i64, i64)>, // id -> (value, bound)
+    executed: u64,
+    nullified: u64,
+}
+
+impl<'p> Machine<'p> {
+    fn new(p: &'p LoopProgram) -> Self {
+        Machine {
+            p,
+            n: p.n as i64,
+            cells: vec![vec![None; p.n as usize]; p.arrays.len()],
+            regs: BTreeMap::new(),
+            executed: 0,
+            nullified: 0,
+        }
+    }
+
+    fn array_name(&self, a: u32) -> String {
+        self.p.arrays[a as usize].clone()
+    }
+
+    fn guard_enabled(&self, g: &Guard) -> Result<bool, ExecError> {
+        let &(value, bound) = self
+            .regs
+            .get(&g.reg.0)
+            .ok_or(ExecError::UnboundRegister(g.reg.0))?;
+        let eff = value - g.offset;
+        Ok(bound < eff && eff <= 0)
+    }
+
+    fn read(&self, a: u32, idx: i64) -> Result<i64, ExecError> {
+        if idx <= 0 {
+            return Ok(0); // initial conditions, e.g. E[-3]
+        }
+        if idx > self.n {
+            return Err(ExecError::OutOfRangeRead {
+                array: self.array_name(a),
+                index: idx,
+            });
+        }
+        self.cells[a as usize][(idx - 1) as usize].ok_or_else(|| ExecError::UseBeforeDef {
+            array: self.array_name(a),
+            index: idx,
+        })
+    }
+
+    fn write(&mut self, a: u32, idx: i64, val: i64) -> Result<(), ExecError> {
+        if !(1..=self.n).contains(&idx) {
+            return Err(ExecError::OutOfRangeWrite {
+                array: self.array_name(a),
+                index: idx,
+            });
+        }
+        let cell = &mut self.cells[a as usize][(idx - 1) as usize];
+        if cell.is_some() {
+            return Err(ExecError::DoubleWrite {
+                array: self.array_name(a),
+                index: idx,
+            });
+        }
+        *cell = Some(val);
+        Ok(())
+    }
+
+    fn step(&mut self, inst: &Inst, i: i64) -> Result<(), ExecError> {
+        match inst {
+            Inst::Setup { reg, init, bound } => {
+                self.regs.insert(reg.0, (*init, *bound));
+                Ok(())
+            }
+            Inst::Dec { reg, by } => {
+                let entry = self
+                    .regs
+                    .get_mut(&reg.0)
+                    .ok_or(ExecError::UnboundRegister(reg.0))?;
+                entry.0 -= by;
+                Ok(())
+            }
+            Inst::Compute {
+                guard,
+                dest,
+                op,
+                srcs,
+            } => {
+                if let Some(g) = guard {
+                    if !self.guard_enabled(g)? {
+                        self.nullified += 1;
+                        return Ok(());
+                    }
+                }
+                let dest_idx = dest.index.eval(i, self.n);
+                let mut inputs = Vec::with_capacity(srcs.len());
+                for s in srcs {
+                    inputs.push(self.read(s.array, s.index.eval(i, self.n))?);
+                }
+                let val = op.eval(&inputs, dest_idx);
+                self.write(dest.array, dest_idx, val)?;
+                self.executed += 1;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Execute `p` and return the final array contents.
+///
+/// Fails (see [`ExecError`]) on any out-of-range or duplicate write,
+/// use-before-def read, unbound register, or — after the run — any element
+/// of `1..=n` left uncomputed.
+pub fn execute(p: &LoopProgram) -> Result<ExecResult, ExecError> {
+    let mut m = Machine::new(p);
+    for inst in &p.pre {
+        m.step(inst, 0)?;
+    }
+    if let Some(l) = &p.body {
+        if l.step < 1 {
+            return Err(ExecError::InvalidLoop("step must be positive"));
+        }
+        let mut i = l.lo;
+        while i <= l.hi {
+            for inst in &l.body {
+                m.step(inst, i)?;
+            }
+            if let Some(k) = l.auto_dec {
+                // IA-64-style rotation: the loop branch decrements every
+                // conditional register (no explicit Dec instructions).
+                for entry in m.regs.values_mut() {
+                    entry.0 -= k;
+                }
+            }
+            i += l.step;
+        }
+    }
+    for inst in &p.post {
+        m.step(inst, 0)?;
+    }
+    // Completeness: every element written exactly once (double writes were
+    // already rejected).
+    for (a, col) in m.cells.iter().enumerate() {
+        if let Some(missing) = col.iter().position(Option::is_none) {
+            return Err(ExecError::Incomplete {
+                array: p.arrays[a].clone(),
+                index: missing as i64 + 1,
+            });
+        }
+    }
+    Ok(ExecResult {
+        arrays: m
+            .cells
+            .into_iter()
+            .map(|col| col.into_iter().map(Option::unwrap).collect())
+            .collect(),
+        computes_executed: m.executed,
+        computes_nullified: m.nullified,
+    })
+}
+
+/// Execute `p` and compare every element with the direct recurrence
+/// evaluation of `g` — the paper's correctness claims, checked.
+///
+/// The per-node execution count (`n` fires per node, Theorems
+/// 4.1/4.2/4.6) is implied by [`execute`]'s completeness and
+/// double-write checks; the `debug_assert` below merely restates it.
+pub fn check_against_reference(g: &Dfg, p: &LoopProgram) -> Result<ExecResult, ExecError> {
+    assert_eq!(
+        g.node_count(),
+        p.arrays.len(),
+        "program must cover exactly the DFG's value streams"
+    );
+    let res = execute(p)?;
+    let reference = g.reference_execution(p.n as usize);
+    for v in g.node_ids() {
+        #[allow(clippy::needless_range_loop)] // two parallel tables, index is clearer
+        for i in 0..p.n as usize {
+            let got = res.arrays[v.index()][i];
+            let expected = reference[v.index()][i];
+            if got != expected {
+                return Err(ExecError::Mismatch {
+                    array: g.node(v).name.clone(),
+                    index: i as i64 + 1,
+                    got,
+                    expected,
+                });
+            }
+        }
+    }
+    debug_assert_eq!(
+        res.computes_executed,
+        g.node_count() as u64 * p.n,
+        "every node must execute exactly n times"
+    );
+    Ok(res)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cred_codegen::ir::{Index, LoopSpec, PredId, Ref};
+    use cred_codegen::pipeline::original_program;
+    use cred_dfg::{DfgBuilder, OpKind};
+
+    fn tiny() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let a = b.node("A", 1, OpKind::Add(1));
+        let c = b.node("B", 1, OpKind::Mul(0));
+        b.edge(a, c, 0);
+        b.edge(c, a, 2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn original_program_matches_reference() {
+        let g = tiny();
+        for n in [0u64, 1, 2, 5, 17] {
+            let p = original_program(&g, n);
+            let res = check_against_reference(&g, &p).unwrap();
+            assert_eq!(res.computes_executed, 2 * n);
+            assert_eq!(res.computes_nullified, 0);
+        }
+    }
+
+    #[test]
+    fn double_write_detected() {
+        let g = tiny();
+        let mut p = original_program(&g, 3);
+        // Duplicate the whole body: every element written twice.
+        let body = p.body.as_mut().unwrap();
+        let dup = body.body.clone();
+        body.body.extend(dup);
+        assert!(matches!(execute(&p), Err(ExecError::DoubleWrite { .. })));
+    }
+
+    #[test]
+    fn incomplete_detected() {
+        let g = tiny();
+        // n = 2: A never reads an in-range B element, so dropping B's
+        // instance leaves B[1..=2] missing without tripping use-before-def.
+        let mut p = original_program(&g, 2);
+        p.body.as_mut().unwrap().body.pop(); // drop B's instance
+        assert!(matches!(execute(&p), Err(ExecError::Incomplete { .. })));
+    }
+
+    #[test]
+    fn out_of_range_write_detected() {
+        let g = tiny();
+        let mut p = original_program(&g, 3);
+        p.body.as_mut().unwrap().hi = 4; // run one iteration too many
+        assert!(matches!(
+            execute(&p),
+            Err(ExecError::OutOfRangeWrite { .. })
+        ));
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        // B reads A zero-delay but is emitted first.
+        let g = tiny();
+        let mut p = original_program(&g, 3);
+        p.body.as_mut().unwrap().body.reverse();
+        assert!(matches!(execute(&p), Err(ExecError::UseBeforeDef { .. })));
+    }
+
+    #[test]
+    fn non_positive_step_rejected() {
+        let g = tiny();
+        let mut p = original_program(&g, 3);
+        p.body.as_mut().unwrap().step = 0;
+        assert_eq!(
+            execute(&p).unwrap_err(),
+            ExecError::InvalidLoop("step must be positive")
+        );
+        p.body.as_mut().unwrap().step = -1;
+        assert!(matches!(execute(&p), Err(ExecError::InvalidLoop(_))));
+    }
+
+    #[test]
+    fn unbound_register_detected() {
+        let g = tiny();
+        let mut p = original_program(&g, 3);
+        p.body.as_mut().unwrap().body.push(Inst::Dec {
+            reg: PredId(9),
+            by: 1,
+        });
+        assert_eq!(execute(&p).unwrap_err(), ExecError::UnboundRegister(9));
+    }
+
+    #[test]
+    fn guard_window_semantics() {
+        // A single guarded instruction writing A[i]; register init 1,
+        // bound -2, n = 5: enabled iff -2 < p <= 0 with p = 1 - (i - 1)
+        // = 2 - i, i.e. i in {2, 3}. The other elements are filled by a
+        // plain instruction guarded to the complement via a second window.
+        let mut b = DfgBuilder::new();
+        b.node("A", 1, OpKind::Input(0));
+        let _ = b.build().unwrap();
+        let dest = Ref {
+            array: 0,
+            index: Index::i_plus(0),
+        };
+        let guarded = Inst::Compute {
+            guard: Some(Guard {
+                reg: PredId(0),
+                offset: 0,
+            }),
+            dest,
+            op: OpKind::Input(0),
+            srcs: vec![],
+        };
+        let p = LoopProgram {
+            name: "t".into(),
+            n: 5,
+            arrays: vec!["A".into()],
+            pre: vec![Inst::Setup {
+                reg: PredId(0),
+                init: 1,
+                bound: -2,
+            }],
+            body: Some(LoopSpec {
+                lo: 1,
+                hi: 5,
+                step: 1,
+                body: vec![
+                    guarded,
+                    Inst::Dec {
+                        reg: PredId(0),
+                        by: 1,
+                    },
+                ],
+                auto_dec: None,
+            }),
+            post: vec![],
+        };
+        // Only A[2], A[3] get written -> Incomplete at index 1.
+        let err = execute(&p).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::Incomplete {
+                array: "A".into(),
+                index: 1
+            }
+        );
+    }
+
+    #[test]
+    fn guard_offset_shifts_window() {
+        // Same as above, but a positive offset (eff = value - offset)
+        // shifts the enabled window EARLIER: offset 1 gives i in {1, 2}.
+        let mut b = DfgBuilder::new();
+        b.node("A", 1, OpKind::Input(0));
+        let _ = b.build().unwrap();
+        let mk = |offset| Inst::Compute {
+            guard: Some(Guard {
+                reg: PredId(0),
+                offset,
+            }),
+            dest: Ref {
+                array: 0,
+                index: Index::i_plus(0),
+            },
+            op: OpKind::Input(0),
+            srcs: vec![],
+        };
+        let run = |offset| {
+            let p = LoopProgram {
+                name: "t".into(),
+                n: 5,
+                arrays: vec!["A".into()],
+                pre: vec![Inst::Setup {
+                    reg: PredId(0),
+                    init: 1,
+                    bound: -2,
+                }],
+                body: Some(LoopSpec {
+                    lo: 1,
+                    hi: 5,
+                    step: 1,
+                    body: vec![
+                        mk(offset),
+                        Inst::Dec {
+                            reg: PredId(0),
+                            by: 1,
+                        },
+                    ],
+                    auto_dec: None,
+                }),
+                post: vec![],
+            };
+            execute(&p).unwrap_err()
+        };
+        // offset 0 gives window {2,3}; offset 1 (eff = p - 1) shifts it to
+        // {1,2}, so the first missing element becomes 3.
+        assert_eq!(
+            run(1),
+            ExecError::Incomplete {
+                array: "A".into(),
+                index: 3
+            }
+        );
+    }
+
+    #[test]
+    fn reads_before_iteration_one_are_zero() {
+        // A[i] = A[i-2] + 1 with n = 4: A = [1, 1, 2, 2].
+        let mut b = DfgBuilder::new();
+        let a = b.node("A", 1, OpKind::Add(1));
+        b.edge(a, a, 2);
+        let g = b.build().unwrap();
+        let p = original_program(&g, 4);
+        let res = execute(&p).unwrap();
+        assert_eq!(res.arrays[0], vec![1, 1, 2, 2]);
+        check_against_reference(&g, &p).unwrap();
+    }
+
+    #[test]
+    fn mismatch_detected() {
+        let g = tiny();
+        let mut p = original_program(&g, 3);
+        // Corrupt the constant of the first instruction.
+        if let Some(l) = &mut p.body {
+            if let Inst::Compute { op, .. } = &mut l.body[0] {
+                *op = OpKind::Add(2);
+            }
+        }
+        assert!(matches!(
+            check_against_reference(&g, &p),
+            Err(ExecError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = ExecError::OutOfRangeWrite {
+            array: "A".into(),
+            index: 12,
+        };
+        assert_eq!(e.to_string(), "out-of-range write A[12]");
+        assert_eq!(
+            ExecError::UnboundRegister(0).to_string(),
+            "register p1 never setup"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Execution tracing: reproduce Figure 3(c)-style tables showing, per loop
+//! iteration, which guarded instructions fired and the conditional-register
+//! values they saw.
+
+use cred_codegen::{Inst, LoopProgram};
+use std::collections::BTreeMap;
+
+/// One guarded-compute event inside the loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Loop induction variable value.
+    pub i: i64,
+    /// Destination rendered as `Name[index]`.
+    pub dest: String,
+    /// Guard register value seen (minus its static offset), if guarded.
+    pub guard_value: Option<i64>,
+    /// Whether the instruction executed (unguarded instructions always do).
+    pub enabled: bool,
+}
+
+impl TraceEvent {
+    /// Figure 3(c) cell format: `(p)Name[idx]`, e.g. `(2)B[-1]`.
+    pub fn cell(&self) -> String {
+        match self.guard_value {
+            Some(p) => format!("({p}){}", self.dest),
+            None => self.dest.clone(),
+        }
+    }
+}
+
+/// Dry-run the loop portion of `p` (no memory, registers only) and report
+/// every compute instruction's guard state per iteration. This regenerates
+/// the execution-sequence tables of Figures 3(c) and 7(c).
+pub fn trace_loop(p: &LoopProgram) -> Vec<TraceEvent> {
+    let n = p.n as i64;
+    let mut regs: BTreeMap<u32, (i64, i64)> = BTreeMap::new();
+    for inst in &p.pre {
+        if let Inst::Setup { reg, init, bound } = inst {
+            regs.insert(reg.0, (*init, *bound));
+        }
+    }
+    let mut events = Vec::new();
+    let Some(l) = &p.body else {
+        return events;
+    };
+    let mut i = l.lo;
+    while i <= l.hi {
+        for inst in &l.body {
+            match inst {
+                Inst::Setup { reg, init, bound } => {
+                    regs.insert(reg.0, (*init, *bound));
+                }
+                Inst::Dec { reg, by } => {
+                    if let Some(e) = regs.get_mut(&reg.0) {
+                        e.0 -= by;
+                    }
+                }
+                Inst::Compute { guard, dest, .. } => {
+                    let dest_s = format!(
+                        "{}[{}]",
+                        p.arrays[dest.array as usize],
+                        dest.index.eval(i, n)
+                    );
+                    match guard {
+                        None => events.push(TraceEvent {
+                            i,
+                            dest: dest_s,
+                            guard_value: None,
+                            enabled: true,
+                        }),
+                        Some(g) => {
+                            let (value, bound) =
+                                *regs.get(&g.reg.0).unwrap_or(&(i64::MIN, i64::MIN));
+                            let eff = value - g.offset;
+                            events.push(TraceEvent {
+                                i,
+                                dest: dest_s,
+                                guard_value: Some(eff),
+                                enabled: bound < eff && eff <= 0,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(k) = l.auto_dec {
+            for e in regs.values_mut() {
+                e.0 -= k;
+            }
+        }
+        i += l.step;
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cred_codegen::cred::cred_pipelined;
+    use cred_dfg::{DfgBuilder, OpKind};
+    use cred_retime::Retiming;
+
+    fn figure3() -> (cred_dfg::Dfg, Retiming) {
+        let mut b = DfgBuilder::new();
+        let a = b.node("A", 1, OpKind::Add(9));
+        let bb = b.node("B", 1, OpKind::Mul(5));
+        let c = b.node("C", 1, OpKind::Add(0));
+        let d = b.node("D", 1, OpKind::Mul(0));
+        let e = b.node("E", 1, OpKind::Add(30));
+        b.edge(e, a, 4);
+        b.edge(a, bb, 0);
+        b.edge(a, c, 0);
+        b.edge(bb, c, 2);
+        b.edge(a, d, 0);
+        b.edge(c, d, 0);
+        b.edge(d, e, 0);
+        (
+            b.build().unwrap(),
+            Retiming::from_values(vec![3, 2, 2, 1, 0]),
+        )
+    }
+
+    #[test]
+    fn figure3c_first_iteration() {
+        // At i = -2 (first iteration), the paper's table shows guard
+        // values (0)A[1], (1)B[0], (1)C[0], (2)D[-1], (3)E[-2]: only A
+        // enabled.
+        let (g, r) = figure3();
+        let p = cred_pipelined(&g, &r, 10);
+        let ev: Vec<_> = trace_loop(&p).into_iter().filter(|e| e.i == -2).collect();
+        let cells: Vec<String> = ev.iter().map(TraceEvent::cell).collect();
+        assert_eq!(
+            cells,
+            ["(0)A[1]", "(1)B[0]", "(1)C[0]", "(2)D[-1]", "(3)E[-2]"]
+        );
+        let enabled: Vec<bool> = ev.iter().map(|e| e.enabled).collect();
+        assert_eq!(enabled, [true, false, false, false, false]);
+    }
+
+    #[test]
+    fn figure3c_steady_state_all_enabled() {
+        let (g, r) = figure3();
+        let p = cred_pipelined(&g, &r, 10);
+        let ev: Vec<_> = trace_loop(&p).into_iter().filter(|e| e.i == 4).collect();
+        assert!(ev.iter().all(|e| e.enabled));
+        // Steady-state guard values: (-4)A, (-3)B, (-3)C, (-2)D, (-1)E as
+        // in the middle row of Figure 3(c) (shifted by iteration).
+        let vals: Vec<i64> = ev.iter().map(|e| e.guard_value.unwrap()).collect();
+        assert_eq!(vals, [-6, -5, -5, -4, -3]);
+    }
+
+    #[test]
+    fn figure3c_last_iteration_only_e() {
+        let (g, r) = figure3();
+        let n = 10u64;
+        let p = cred_pipelined(&g, &r, n);
+        let ev: Vec<_> = trace_loop(&p)
+            .into_iter()
+            .filter(|e| e.i == n as i64)
+            .collect();
+        let enabled: Vec<(String, bool)> = ev.iter().map(|e| (e.dest.clone(), e.enabled)).collect();
+        assert_eq!(
+            enabled,
+            [
+                ("A[13]".to_string(), false),
+                ("B[12]".to_string(), false),
+                ("C[12]".to_string(), false),
+                ("D[11]".to_string(), false),
+                ("E[10]".to_string(), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn total_enabled_counts_match_n_per_node() {
+        let (g, r) = figure3();
+        let n = 10u64;
+        let p = cred_pipelined(&g, &r, n);
+        let mut per_array: BTreeMap<String, u64> = BTreeMap::new();
+        for e in trace_loop(&p) {
+            if e.enabled {
+                let name = e.dest.split('[').next().unwrap().to_string();
+                *per_array.entry(name).or_insert(0) += 1;
+            }
+        }
+        for (_, count) in per_array {
+            assert_eq!(count, n);
+        }
+    }
+}

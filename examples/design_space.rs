@@ -1,0 +1,75 @@
+//! Scenario: design-space exploration under embedded-memory constraints
+//! (paper §4, closing discussion).
+//!
+//! ```text
+//! cargo run --example design_space
+//! ```
+//!
+//! A designer has a code-size budget (instruction memory) and a predicate-
+//! register budget, and wants the fastest schedule that fits. This example
+//! sweeps unfolding factors on the elliptic wave filter, prints the
+//! Pareto frontier of (code size, iteration period), and answers both
+//! budget queries.
+
+use cred::codegen::DecMode;
+use cred::explore::{best_under_code_budget, best_under_register_budget, pareto, sweep};
+use cred::kernels::elliptic_filter;
+
+fn main() {
+    let g = elliptic_filter();
+    let l = g.node_count();
+    let n = 96u64;
+    println!(
+        "elliptic wave filter: L = {l}, iteration bound = {}\n",
+        cred::dfg::algo::iteration_bound(&g).unwrap()
+    );
+
+    let points = sweep(&g, 5, n, DecMode::Bulk);
+    println!(
+        "{:>3} {:>5} {:>11} {:>10} {:>17} {:>10}",
+        "f", "M_r", "plain size", "CRED size", "iteration period", "registers"
+    );
+    for p in &points {
+        println!(
+            "{:>3} {:>5} {:>11} {:>10} {:>17} {:>10}",
+            p.f,
+            p.m_r,
+            p.plain_size,
+            p.cred_size,
+            format!(
+                "{} = {:.2}",
+                p.iteration_period,
+                p.iteration_period.to_f64()
+            ),
+            p.registers
+        );
+    }
+
+    println!("\nPareto frontier (CRED size vs iteration period):");
+    for p in pareto(&points) {
+        println!(
+            "  f = {}: {} instructions at period {}",
+            p.f, p.cred_size, p.iteration_period
+        );
+    }
+
+    for budget in [l + 10, 2 * l + 10, 4 * l + 10] {
+        match best_under_code_budget(&g, budget, 5, n, DecMode::Bulk) {
+            Some(p) => println!(
+                "\nbudget {budget:>4} instructions -> f = {}, CRED size {}, period {}",
+                p.f, p.cred_size, p.iteration_period
+            ),
+            None => println!("\nbudget {budget:>4} instructions -> infeasible"),
+        }
+    }
+
+    for regs in [1usize, 2, 4] {
+        match best_under_register_budget(&g, regs, 4, n, DecMode::Bulk) {
+            Some(p) => println!(
+                "register budget {regs} -> f = {}, period {}, uses {} registers",
+                p.f, p.iteration_period, p.registers
+            ),
+            None => println!("register budget {regs} -> infeasible"),
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Scenario: combining software pipelining with unfolding — and why the
+//! order matters (paper §3.4, Theorems 4.4–4.7, Figures 6–7).
+//!
+//! ```text
+//! cargo run --example retime_unfold
+//! ```
+//!
+//! For a rate-optimal schedule of a loop with a fractional iteration
+//! bound, the loop must be unfolded *and* retimed. Retiming first and
+//! then unfolding produces less code than unfolding first (Theorem 4.5),
+//! and CRED removes the rest with no extra registers (Theorem 4.7). This
+//! example walks the Figure 6/7 loop, then compares both orders on the
+//! 4-stage lattice benchmark.
+
+use cred::codegen::cred::cred_retime_unfold;
+use cred::codegen::pretty::render;
+use cred::codegen::unfolded::{retime_unfold_program, unfold_retime_program};
+use cred::codegen::DecMode;
+use cred::dfg::{DfgBuilder, OpKind};
+use cred::retime::{min_period_retiming, Retiming};
+use cred::unfold::orders::project_retiming;
+use cred::unfold::unfold;
+use cred::vm::check_against_reference;
+
+fn main() {
+    // Figure 6's loop (with the delay on A -> B that makes r(B) = 1 legal;
+    // see DESIGN.md): A[i] = B[i-3]*3; B[i] = A[i-1]+7; C[i] = B[i]*2.
+    let mut b = DfgBuilder::new();
+    let a = b.node("A", 1, OpKind::Mul(3));
+    let bb = b.node("B", 1, OpKind::Add(7));
+    let c = b.node("C", 1, OpKind::Mul(2));
+    b.edge(bb, a, 3);
+    b.edge(a, bb, 1);
+    b.edge(bb, c, 0);
+    let g = b.build().unwrap();
+    let mut r = Retiming::zero(3);
+    r.set(bb, 1);
+
+    println!("--- Figure 6(b)/7(b): retime (r(B)=1) then unfold (f=3), n = 9 ---\n");
+    let plain = retime_unfold_program(&g, &r, 3, 9);
+    let cred = cred_retime_unfold(&g, &r, 3, 9, DecMode::PerCopy);
+    check_against_reference(&g, &plain).unwrap();
+    check_against_reference(&g, &cred).unwrap();
+    println!("{}", render(&plain));
+    println!("{}", render(&cred));
+
+    println!("--- order comparison on the 4-stage lattice (L = 26, n = 96) ---\n");
+    let lat = cred::kernels::lattice_filter();
+    println!(
+        "{:>3} {:>14} {:>14} {:>9} {:>10}",
+        "f", "unfold-retime", "retime-unfold", "CRED", "registers"
+    );
+    for f in [2usize, 3, 4] {
+        let u = unfold(&lat, f);
+        let r_f = min_period_retiming(&u.graph).retiming;
+        let ur = unfold_retime_program(&lat, &u, &r_f, 96);
+        let projected = project_retiming(&u, &r_f);
+        let ru = retime_unfold_program(&lat, &projected, f, 96);
+        let cr = cred_retime_unfold(&lat, &projected, f, 96, DecMode::PerCopy);
+        for p in [&ur, &ru, &cr] {
+            check_against_reference(&lat, p).unwrap();
+        }
+        println!(
+            "{f:>3} {:>14} {:>14} {:>9} {:>10}",
+            ur.code_size(),
+            ru.code_size(),
+            cr.code_size(),
+            projected.register_count()
+        );
+    }
+    println!("\nTheorem 4.5: the retime-first column never exceeds the");
+    println!("unfold-first column; Theorem 4.7: CRED's register count");
+    println!("equals that of the un-unfolded retimed loop.");
+}

@@ -1,0 +1,223 @@
+//! Fault injection: mutate correct CRED programs and check the VM catches
+//! every corruption. This validates that the equivalence battery actually
+//! has teeth — a checker that accepts mutants would prove nothing.
+
+use cred::codegen::cred::{cred_pipelined, cred_retime_unfold};
+use cred::codegen::ir::{Guard, Inst, LoopProgram};
+use cred::codegen::DecMode;
+use cred::dfg::{gen, Dfg, OpKind};
+use cred::retime::min_period_retiming;
+use cred::vm::check_against_reference;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn sample(seed: u64) -> (Dfg, cred::retime::Retiming) {
+    let g = gen::random_dfg(
+        &mut StdRng::seed_from_u64(seed),
+        &gen::RandomDfgConfig {
+            nodes: 6,
+            forward_edge_prob: 0.4,
+            back_edges: 3,
+            max_delay: 3,
+            max_time: 1,
+        },
+    );
+    let r = min_period_retiming(&g).retiming;
+    (g, r)
+}
+
+fn assert_rejected(g: &Dfg, p: &LoopProgram, what: &str) {
+    assert!(
+        check_against_reference(g, p).is_err(),
+        "VM accepted a corrupted program: {what}"
+    );
+}
+
+/// Every mutation below must be detected for every sampled program.
+#[test]
+fn setup_init_off_by_one_rejected() {
+    for seed in 0..10u64 {
+        let (g, r) = sample(seed);
+        if r.max_value() == 0 {
+            continue;
+        }
+        let mut p = cred_pipelined(&g, &r, 23);
+        if let Some(Inst::Setup { init, .. }) = p.pre.first_mut() {
+            *init += 1;
+        }
+        assert_rejected(&g, &p, "setup init +1");
+    }
+}
+
+#[test]
+fn setup_bound_too_loose_rejected() {
+    for seed in 0..10u64 {
+        let (g, r) = sample(seed);
+        if r.max_value() == 0 {
+            continue;
+        }
+        let mut p = cred_pipelined(&g, &r, 23);
+        if let Some(Inst::Setup { bound, .. }) = p.pre.first_mut() {
+            *bound -= 1; // window one iteration too wide
+        }
+        assert_rejected(&g, &p, "bound -1 (overruns n)");
+    }
+}
+
+#[test]
+fn missing_decrement_rejected() {
+    for seed in 0..10u64 {
+        let (g, r) = sample(seed);
+        if r.max_value() == 0 {
+            continue;
+        }
+        let mut p = cred_pipelined(&g, &r, 23);
+        let body = &mut p.body.as_mut().unwrap().body;
+        let before = body.len();
+        // Remove one decrement: its register's window freezes.
+        if let Some(pos) = body.iter().position(|i| matches!(i, Inst::Dec { .. })) {
+            body.remove(pos);
+        }
+        assert_ne!(body.len(), before);
+        assert_rejected(&g, &p, "missing decrement");
+    }
+}
+
+#[test]
+fn wrong_guard_offset_rejected() {
+    for seed in 0..12u64 {
+        let (g, r) = sample(seed);
+        let mut p = cred_retime_unfold(&g, &r, 3, 23, DecMode::Bulk);
+        let body = &mut p.body.as_mut().unwrap().body;
+        let mut mutated = false;
+        for inst in body.iter_mut() {
+            if let Inst::Compute {
+                guard: Some(Guard { offset, .. }),
+                ..
+            } = inst
+            {
+                if *offset == 2 {
+                    *offset = 0;
+                    mutated = true;
+                    break;
+                }
+            }
+        }
+        if mutated {
+            assert_rejected(&g, &p, "guard offset 2 -> 0");
+        }
+    }
+}
+
+#[test]
+fn wrong_operation_constant_rejected() {
+    for seed in 0..10u64 {
+        let (g, r) = sample(seed);
+        let mut p = cred_pipelined(&g, &r, 23);
+        let body = &mut p.body.as_mut().unwrap().body;
+        for inst in body.iter_mut() {
+            if let Inst::Compute { op, .. } = inst {
+                *op = match *op {
+                    OpKind::Add(c) => OpKind::Add(c + 1),
+                    OpKind::Sub(c) => OpKind::Sub(c + 1),
+                    OpKind::Mul(c) => OpKind::Mul(c + 1),
+                    OpKind::Mac(c) => OpKind::Mac(c + 1),
+                    OpKind::Scale(k, c) => OpKind::Scale(k, c + 1),
+                    OpKind::ScaledMul(k, c) => OpKind::ScaledMul(k, c + 1),
+                    OpKind::Input(c) => OpKind::Input(c + 1),
+                };
+                break;
+            }
+        }
+        assert_rejected(&g, &p, "op constant +1");
+    }
+}
+
+#[test]
+fn shifted_source_index_rejected() {
+    for seed in 0..10u64 {
+        let (g, r) = sample(seed);
+        let mut p = cred_pipelined(&g, &r, 23);
+        let body = &mut p.body.as_mut().unwrap().body;
+        let mut mutated = false;
+        for inst in body.iter_mut() {
+            if let Inst::Compute { srcs, .. } = inst {
+                if let Some(s) = srcs.first_mut() {
+                    if let cred::codegen::Index::Loop { offset, .. } = &mut s.index {
+                        *offset -= 1; // read one iteration too early
+                        mutated = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if mutated {
+            assert_rejected(&g, &p, "source index -1");
+        }
+    }
+}
+
+#[test]
+fn truncated_loop_rejected() {
+    for seed in 0..10u64 {
+        let (g, r) = sample(seed);
+        let mut p = cred_pipelined(&g, &r, 23);
+        p.body.as_mut().unwrap().hi -= 1; // one iteration short
+        assert_rejected(&g, &p, "loop one iteration short");
+    }
+}
+
+#[test]
+fn extended_loop_rejected() {
+    for seed in 0..10u64 {
+        let (g, r) = sample(seed);
+        let mut p = cred_pipelined(&g, &r, 23);
+        // One extra iteration: guards go below their bound and stay off,
+        // so the extension is *masked correctly* and must still verify —
+        // unless the bound mutation is combined. This documents that CRED
+        // kernels are robust to over-running the loop.
+        p.body.as_mut().unwrap().hi += 1;
+        check_against_reference(&g, &p)
+            .expect("guards mask extra iterations; extension is harmless");
+    }
+}
+
+#[test]
+fn swapped_dest_arrays_rejected() {
+    for seed in 0..10u64 {
+        let (g, r) = sample(seed);
+        let mut p = cred_pipelined(&g, &r, 23);
+        let body = &mut p.body.as_mut().unwrap().body;
+        // Swap the destination arrays of the first two computes.
+        let computes: Vec<usize> = body
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i, Inst::Compute { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if computes.len() >= 2 {
+            let (a, b) = (computes[0], computes[1]);
+            let arr_a = match &body[a] {
+                Inst::Compute { dest, .. } => dest.array,
+                _ => unreachable!(),
+            };
+            let arr_b = match &body[b] {
+                Inst::Compute { dest, .. } => dest.array,
+                _ => unreachable!(),
+            };
+            // Skip genuinely equivalent mutants: if the two nodes compute
+            // identical value streams (e.g. two constant adders with no
+            // inputs), swapping their destinations is not a fault.
+            let reference = g.reference_execution(23);
+            if reference[arr_a as usize] == reference[arr_b as usize] {
+                continue;
+            }
+            if let Inst::Compute { dest, .. } = &mut body[a] {
+                dest.array = arr_b;
+            }
+            if let Inst::Compute { dest, .. } = &mut body[b] {
+                dest.array = arr_a;
+            }
+            assert_rejected(&g, &p, "swapped destination arrays");
+        }
+    }
+}

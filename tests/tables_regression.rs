@@ -1,0 +1,116 @@
+//! Regression locks for the experiment tables: the exact measured cells of
+//! EXPERIMENTS.md. A change to any algorithm that silently shifts a table
+//! value fails here.
+
+use cred_bench::{compare_orders, table1_row, table2_row};
+use cred_codegen::DecMode;
+use cred_kernels::all_benchmarks;
+
+#[test]
+fn table1_measured_cells() {
+    // (orig, retimed, cred, registers, period, m_r)
+    let expected = [
+        ("IIR Filter", 8, 16, 12, 2, 3, 1),
+        ("Differential Equation", 11, 33, 17, 3, 2, 2),
+        ("All-pole Filter", 15, 60, 23, 4, 2, 3),
+        ("Elliptic Filter", 34, 102, 40, 3, 5, 2),
+        ("4-stage Lattice Filter", 26, 78, 32, 3, 5, 2),
+        ("Volterra Filter", 27, 54, 31, 2, 3, 1),
+    ];
+    for ((name, g), (ename, orig, ret, cr, rgs, period, m_r)) in
+        all_benchmarks().iter().zip(expected)
+    {
+        assert_eq!(*name, ename);
+        let row = table1_row(name, g, 101);
+        assert_eq!(
+            (
+                row.orig,
+                row.retimed,
+                row.cred,
+                row.registers,
+                row.period,
+                row.m_r
+            ),
+            (orig, ret, cr, rgs, period, m_r),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn table2_measured_cells() {
+    // (retime_unfold, cred, registers)
+    let expected = [
+        (40, 32, 2),
+        (55, 45, 3),
+        (120, 61, 4),
+        (170, 114, 3),
+        (130, 90, 3),
+        (135, 89, 2),
+    ];
+    for ((name, g), (ru, cr, rgs)) in all_benchmarks().iter().zip(expected) {
+        let row = table2_row(name, g, 3, 101);
+        assert_eq!(
+            (row.retime_unfold, row.cred, row.registers),
+            (ru, cr, rgs),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn table3_measured_cells() {
+    let g = cred_kernels::chao_sha_fig8();
+    // (f, unfold_retime, retime_unfold, cred, iteration_period)
+    let expected = [
+        (2usize, 10, 10, 12, 13.5),
+        (3, 30, 30, 19, 14.0),
+        (4, 20, 20, 22, 13.5),
+    ];
+    for (f, ur, ru, cr, period) in expected {
+        let c = compare_orders(&g, f, None, 120, DecMode::Bulk);
+        assert_eq!(
+            (c.unfold_retime, c.retime_unfold, c.cred),
+            (ur, ru, cr),
+            "f={f}"
+        );
+        assert!((c.iteration_period - period).abs() < 1e-9, "f={f}");
+    }
+}
+
+#[test]
+fn table4_measured_cells() {
+    let g = cred_kernels::lattice_filter();
+    // CRED row matches the paper exactly: 61 / 90 / 119 with 3 registers.
+    let expected = [
+        (2usize, 104, 104, 61),
+        (3, 156, 156, 90),
+        (4, 208, 208, 119),
+    ];
+    for (f, ur, ru, cr) in expected {
+        let c = compare_orders(&g, f, None, 96, DecMode::PerCopy);
+        assert_eq!(
+            (c.unfold_retime, c.retime_unfold, c.cred, c.registers),
+            (ur, ru, cr, 3),
+            "f={f}"
+        );
+    }
+}
+
+#[test]
+fn table_orderings_hold() {
+    // The paper's qualitative claims, independent of exact cells.
+    for (name, g) in all_benchmarks() {
+        let r1 = table1_row(name, &g, 101);
+        assert!(r1.cred < r1.retimed, "{name}: CRED must shrink the loop");
+        assert!(r1.retimed >= r1.orig, "{name}");
+        let r2 = table2_row(name, &g, 3, 101);
+        assert!(r2.cred < r2.retime_unfold, "{name}");
+    }
+    let lat = cred_kernels::lattice_filter();
+    for f in [2usize, 3, 4] {
+        let c = compare_orders(&lat, f, None, 96, DecMode::PerCopy);
+        assert!(c.retime_unfold <= c.unfold_retime, "Theorem 4.5 at f={f}");
+        assert!(c.cred < c.retime_unfold, "CRED wins at f={f}");
+    }
+}
