@@ -1,0 +1,48 @@
+//! Criterion bench for the exploration engine: the serial reference
+//! [`cred_explore::sweep`] against the parallel, memoized
+//! [`cred_explore::par_sweep`] on the two largest bundled kernels
+//! (elliptic, 34 nodes; volterra, 27 nodes), plus the warm-cache
+//! steady state a long-lived [`SweepCache`] reaches after the first sweep.
+
+use cred_codegen::DecMode;
+use cred_explore::cache::SweepCache;
+use cred_explore::{par_sweep, par_sweep_with, sweep};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const MAX_F: usize = 4;
+const N: u64 = 101;
+
+fn bench_explore_sweep(c: &mut Criterion) {
+    let kernels = [
+        ("elliptic", cred_kernels::elliptic_filter()),
+        ("volterra", cred_kernels::volterra_filter()),
+    ];
+    let mut group = c.benchmark_group("explore_sweep");
+    group.sample_size(10);
+    for (name, g) in &kernels {
+        group.bench_with_input(BenchmarkId::new("serial", name), g, |b, g| {
+            b.iter(|| black_box(sweep(g, MAX_F, N, DecMode::Bulk)));
+        });
+        for threads in [2, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel{threads}"), name),
+                g,
+                |b, g| {
+                    b.iter(|| black_box(par_sweep(g, MAX_F, N, DecMode::Bulk, threads)));
+                },
+            );
+        }
+        // Steady state: the cache already holds every plan, so the sweep
+        // only regenerates code from the memoized retimings.
+        let warm = SweepCache::new();
+        let _ = par_sweep_with(g, MAX_F, N, DecMode::Bulk, 8, &warm);
+        group.bench_with_input(BenchmarkId::new("warm_cache", name), g, |b, g| {
+            b.iter(|| black_box(par_sweep_with(g, MAX_F, N, DecMode::Bulk, 8, &warm)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore_sweep);
+criterion_main!(benches);

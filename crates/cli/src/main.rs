@@ -3,7 +3,7 @@
 //! ```text
 //! credc analyze  <file.loop>                      graph analyses
 //! credc reduce   <file.loop> [options]            generate + verify + print
-//! credc explore  <file.loop> [options]            design-space exploration
+//! credc explore  <file.loop|dir> [options]        design-space exploration
 //! credc schedule <file.loop> [--alu N] [--mul N]  rotation scheduling
 //! ```
 //!
@@ -12,10 +12,12 @@
 //!   --unfold F      unfolding factor (default 1)
 //!   --mode M        percopy | bulk (default bulk)
 //!   --print         print the generated programs
-//! Options for `explore`:
+//! Options for `explore` (a directory sweeps every `*.loop` inside it):
 //!   --budget L      code-size budget (instructions)
 //!   --registers P   conditional-register budget
 //!   --max-unfold F  largest factor to consider (default 4)
+//!   --parallel T    worker threads for the memoized sweep (default 1)
+//!   --json          emit the machine-readable suite report instead of tables
 
 use cred_codegen::pretty::render;
 use cred_codegen::DecMode;
@@ -39,7 +41,7 @@ impl Args {
         let mut it = raw.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = if matches!(name, "print") {
+                let value = if matches!(name, "print" | "json") {
                     None
                 } else {
                     Some(
@@ -149,18 +151,25 @@ fn cmd_reduce(g: Dfg, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explore(g: &Dfg, args: &Args) -> Result<(), String> {
+fn explore_params(args: &Args) -> Result<(u64, usize, usize), String> {
     let n = args.get_u64("n", 101)?;
     let max_f = args.get_u64("max-unfold", 4)? as usize;
     if max_f < 1 {
         return Err("--max-unfold must be at least 1".into());
     }
-    let points = cred_explore::sweep(g, max_f, n, DecMode::Bulk);
+    let threads = args.get_u64("parallel", 1)? as usize;
+    if threads < 1 {
+        return Err("--parallel must be at least 1".into());
+    }
+    Ok((n, max_f, threads))
+}
+
+fn print_points(points: &[cred_explore::TradeoffPoint]) {
     println!(
         "{:>3} {:>6} {:>11} {:>10} {:>12} {:>10}",
         "f", "M_r", "plain size", "CRED size", "period", "registers"
     );
-    for p in &points {
+    for p in points {
         println!(
             "{:>3} {:>6} {:>11} {:>10} {:>12} {:>10}",
             p.f,
@@ -171,6 +180,51 @@ fn cmd_explore(g: &Dfg, args: &Args) -> Result<(), String> {
             p.registers
         );
     }
+}
+
+/// `explore` on a directory: sweep every `*.loop` kernel in one batch,
+/// sharing one plan cache across the suite.
+fn cmd_explore_suite(dir: &std::path::Path, args: &Args) -> Result<(), String> {
+    let (n, max_f, threads) = explore_params(args)?;
+    let kernels = cred_explore::suite::load_kernels(dir).map_err(|e| e.to_string())?;
+    if kernels.is_empty() {
+        return Err(format!("{}: no .loop kernels found", dir.display()));
+    }
+    let report = cred_explore::suite::explore_suite(&kernels, max_f, n, DecMode::Bulk, threads);
+    if args.has("json") {
+        print!("{}", report.to_json());
+        return Ok(());
+    }
+    for k in &report.kernels {
+        println!("== {} ({} nodes)", k.name, k.nodes);
+        print_points(&k.points);
+        println!();
+    }
+    println!(
+        "plan cache: {} solves, {} hits",
+        report.cache_misses, report.cache_hits
+    );
+    Ok(())
+}
+
+fn cmd_explore(path: &str, g: &Dfg, args: &Args) -> Result<(), String> {
+    let (n, max_f, threads) = explore_params(args)?;
+    if args.has("json") {
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.to_string());
+        let kernels = vec![(name, g.clone())];
+        let report = cred_explore::suite::explore_suite(&kernels, max_f, n, DecMode::Bulk, threads);
+        print!("{}", report.to_json());
+        return Ok(());
+    }
+    let points = if threads > 1 {
+        cred_explore::par_sweep(g, max_f, n, DecMode::Bulk, threads)
+    } else {
+        cred_explore::sweep(g, max_f, n, DecMode::Bulk)
+    };
+    print_points(&points);
     if let Some(budget) = args.get("budget") {
         let budget: usize = budget
             .parse()
@@ -230,6 +284,12 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => return fail(&e),
     };
+    if cmd == "explore" && std::path::Path::new(path).is_dir() {
+        return match cmd_explore_suite(std::path::Path::new(path), &args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        };
+    }
     let g = match load(path) {
         Ok(g) => g,
         Err(e) => return fail(&e),
@@ -240,7 +300,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         "reduce" => cmd_reduce(g, &args),
-        "explore" => cmd_explore(&g, &args),
+        "explore" => cmd_explore(path, &g, &args),
         "schedule" => cmd_schedule(&g, &args),
         other => Err(format!("unknown command '{other}'")),
     };

@@ -319,6 +319,49 @@ impl Dfg {
         Ok(())
     }
 
+    /// A 64-bit structural fingerprint of the graph.
+    ///
+    /// Covers everything the analyses depend on — node count, node times
+    /// and operations, and every edge `(src, dst, delay)` in id order —
+    /// and deliberately ignores node *names*, which never influence
+    /// retiming, unfolding, or code size. Two graphs with equal
+    /// fingerprints are (modulo a 64-bit FNV-1a collision) structurally
+    /// identical, so the fingerprint serves as the memoization key of
+    /// `cred-explore`'s sweep cache.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut word = |w: u64| {
+            for byte in w.to_le_bytes() {
+                h = (h ^ byte as u64).wrapping_mul(PRIME);
+            }
+        };
+        word(self.nodes.len() as u64);
+        for n in &self.nodes {
+            word(n.time as u64);
+            let (tag, a, b) = match n.op {
+                OpKind::Add(c) => (0u64, c, 0),
+                OpKind::Sub(c) => (1, c, 0),
+                OpKind::Mul(c) => (2, c, 0),
+                OpKind::Mac(c) => (3, c, 0),
+                OpKind::Scale(k, c) => (4, k, c),
+                OpKind::ScaledMul(k, c) => (5, k, c),
+                OpKind::Input(c) => (6, c, 0),
+            };
+            word(tag);
+            word(a as u64);
+            word(b as u64);
+        }
+        word(self.edges.len() as u64);
+        for e in &self.edges {
+            word(e.src.0 as u64);
+            word(e.dst.0 as u64);
+            word(e.delay as u64);
+        }
+        h
+    }
+
     /// Reference execution of the DFG recurrence.
     ///
     /// Computes, for each node, the values of iterations `1..=n` directly
@@ -424,6 +467,30 @@ mod tests {
         b.edge(a, bb, 0);
         b.edge(bb, a, 2);
         b.build().unwrap()
+    }
+
+    #[test]
+    fn fingerprint_ignores_names_but_sees_structure() {
+        let g = two_node();
+        // Same structure, different names: identical fingerprints.
+        let mut b = DfgBuilder::new();
+        let x = b.node("X", 1, OpKind::Add(1));
+        let y = b.node("Y", 1, OpKind::Mul(2));
+        b.edge(x, y, 0);
+        b.edge(y, x, 2);
+        let renamed = b.build().unwrap();
+        assert_eq!(g.fingerprint(), renamed.fingerprint());
+
+        // Any structural change — delay, time, op constant — must show.
+        let mut delay = g.clone();
+        delay.edge_mut(EdgeId(1)).delay = 3;
+        assert_ne!(g.fingerprint(), delay.fingerprint());
+        let mut time = g.clone();
+        time.node_mut(NodeId(0)).time = 2;
+        assert_ne!(g.fingerprint(), time.fingerprint());
+        let mut op = g.clone();
+        op.node_mut(NodeId(0)).op = OpKind::Add(2);
+        assert_ne!(g.fingerprint(), op.fingerprint());
     }
 
     #[test]

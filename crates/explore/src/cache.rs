@@ -1,0 +1,174 @@
+//! Per-sweep memoization of the expensive retiming passes.
+//!
+//! Every trade-off point needs three `O(V^3)` passes over the unfolded
+//! graph (period search, span minimization, register compaction), each of
+//! which — in the straightforward [`crate::sweep`] path — recomputes the
+//! same Floyd–Warshall W/D matrices from scratch. The cache layer fixes
+//! both redundancies:
+//!
+//! * within one factor, the W/D matrices are computed **once** and shared
+//!   across all three passes (the `*_with` entry points in `cred-retime`);
+//! * across calls, the finished [`FactorPlan`] is memoized under the key
+//!   `(Dfg::fingerprint(), f)`, so sweeping the same kernel again — from
+//!   another thread, another sweep, or a constrained search revisiting a
+//!   factor — returns the stored plan without touching the solver.
+//!
+//! The cached plan holds only the *decisions* (projected retiming and
+//! achieved period); code generation is deterministic given those, so
+//! points produced from a cached plan are identical to freshly computed
+//! ones, bit for bit.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cred_dfg::algo::WdMatrices;
+use cred_dfg::Dfg;
+use cred_retime::span::{compact_values_wd, min_span_retiming_from_base};
+use cred_retime::{min_period_retiming_with, Retiming};
+use cred_unfold::orders::project_retiming;
+use cred_unfold::unfold;
+
+/// Everything the sweep decides for one `(graph, f)` pair: the projected
+/// (span-minimized, register-compacted) retiming and the rate-optimal
+/// period of the `f`-unfolded graph. Code sizes are *not* stored — they
+/// depend on the iteration count and decrement mode, and regenerating them
+/// from the plan is cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactorPlan {
+    /// Retiming of the original graph, projected from the unfolded one
+    /// (Theorem 4.5), span-minimized and value-compacted.
+    pub projected: Retiming,
+    /// Minimum cycle period of the `f`-unfolded graph.
+    pub period: u64,
+}
+
+/// Compute a [`FactorPlan`] with a single shared W/D computation.
+///
+/// This is the uncached fast path; [`SweepCache::plan`] wraps it with
+/// memoization. It yields plans identical to [`crate::sweep`]'s per-point
+/// pipeline while doing strictly less work: Floyd–Warshall runs once
+/// instead of three times, the span minimizer starts from the period
+/// search's final solution instead of re-solving it, and its probes use
+/// the sparse auxiliary-variable span encoding
+/// ([`min_span_retiming_from_base`]).
+pub fn compute_plan(g: &Dfg, f: usize) -> FactorPlan {
+    let u = unfold(g, f);
+    let wd = WdMatrices::compute(&u.graph);
+    let opt = min_period_retiming_with(&u.graph, &wd);
+    let r_f = min_span_retiming_from_base(&u.graph, &wd, opt.period, &opt.retiming);
+    let r_f = compact_values_wd(&u.graph, &wd, opt.period, &r_f);
+    let projected = project_retiming(&u, &r_f);
+    FactorPlan {
+        projected,
+        period: opt.period,
+    }
+}
+
+/// Thread-safe memo table for [`FactorPlan`]s, keyed by
+/// `(Dfg::fingerprint(), f)`.
+///
+/// Shared by reference between the workers of a [`crate::par_sweep`] and,
+/// optionally, across whole sweeps (the suite runner keeps one cache for
+/// all kernels; fingerprints keep their entries apart). Two threads racing
+/// on the same key may both compute the plan; the first insert wins and
+/// both callers observe the same `Arc`, so results stay deterministic.
+#[derive(Debug, Default)]
+pub struct SweepCache {
+    plans: Mutex<HashMap<(u64, usize), Arc<FactorPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SweepCache {
+    /// Fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The plan for `(g, f)`, computed on first use and memoized after.
+    pub fn plan(&self, g: &Dfg, f: usize) -> Arc<FactorPlan> {
+        let key = (g.fingerprint(), f);
+        if let Some(p) = self.plans.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(p);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // The lock is NOT held while solving: plans can take milliseconds,
+        // and other workers should keep making progress on other factors.
+        let plan = Arc::new(compute_plan(g, f));
+        let mut plans = self.plans.lock().unwrap();
+        Arc::clone(plans.entry(key).or_insert(plan))
+    }
+
+    /// Lookups answered from the memo table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the solver.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(fingerprint, f)` plans currently stored.
+    pub fn len(&self) -> usize {
+        self.plans.lock().unwrap().len()
+    }
+
+    /// `true` when no plan has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cred_dfg::gen;
+
+    #[test]
+    fn plan_is_memoized_per_graph_and_factor() {
+        let g = gen::chain_with_feedback(6, 3);
+        let cache = SweepCache::new();
+        let a = cache.plan(&g, 2);
+        let b = cache.plan(&g, 2);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the memo");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        // A different factor is a different entry.
+        let _ = cache.plan(&g, 3);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_graphs_do_not_collide() {
+        let g1 = gen::chain_with_feedback(6, 3);
+        let g2 = gen::chain_with_feedback(5, 2);
+        let cache = SweepCache::new();
+        let a = cache.plan(&g1, 1);
+        let b = cache.plan(&g2, 1);
+        assert_eq!(cache.misses(), 2, "different fingerprints, two solves");
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cached_plan_matches_uncached_pipeline() {
+        use cred_retime::min_period_retiming;
+        use cred_retime::span::{compact_values, min_span_retiming};
+        use cred_unfold::{orders::project_retiming, unfold};
+
+        let g = gen::chain_with_feedback(7, 3);
+        for f in 1..=3 {
+            let plan = compute_plan(&g, f);
+            // The original three-solve pipeline, each pass recomputing W/D.
+            let u = unfold(&g, f);
+            let opt = min_period_retiming(&u.graph);
+            let r_f = min_span_retiming(&u.graph, opt.period).unwrap();
+            let r_f = compact_values(&u.graph, opt.period, &r_f);
+            assert_eq!(plan.period, opt.period, "f = {f}");
+            assert_eq!(plan.projected, project_retiming(&u, &r_f), "f = {f}");
+        }
+    }
+}

@@ -14,19 +14,34 @@
 //!   frontier;
 //! * [`best_under_code_budget`] / [`best_under_register_budget`] — the two
 //!   constrained searches the paper sketches ("find the maximum
-//!   performance when the number of conditional registers are limited").
+//!   performance when the number of conditional registers are limited");
+//! * [`par_sweep`] — the same sweep sharded over scoped worker threads,
+//!   backed by the [`cache`] layer so W/D matrices are computed once per
+//!   unfolded graph and finished plans are memoized by
+//!   `(fingerprint, f)`; results are identical to [`sweep`]'s;
+//! * [`suite`] — batch exploration over a directory of `.loop` kernels
+//!   with machine-readable JSON output.
+
+pub mod cache;
+pub mod suite;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cred_codegen::cred::cred_retime_unfold;
 use cred_codegen::unfolded::retime_unfold_program;
 use cred_codegen::DecMode;
 use cred_dfg::{Dfg, Ratio};
-use cred_retime::min_period_retiming;
-use cred_retime::span::{compact_values, min_span_retiming};
+use cred_retime::span::{
+    compact_values, compact_values_wd, min_span_retiming, min_span_retiming_with,
+};
+use cred_retime::{min_period_retiming, min_period_retiming_with};
 use cred_unfold::orders::project_retiming;
 use cred_unfold::unfold;
 
+use cache::{FactorPlan, SweepCache};
+
 /// One evaluated configuration of the (retime, unfold, CRED) pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TradeoffPoint {
     /// Unfolding factor.
     pub f: usize,
@@ -44,21 +59,37 @@ pub struct TradeoffPoint {
 
 /// The retiming used per factor: rate-optimal on the unfolded graph,
 /// projected back (Theorem 4.5), span-minimized and register-compacted.
+///
+/// This is the *reference* pipeline: each retiming pass recomputes its own
+/// W/D matrices from scratch. [`par_sweep`] reaches the same points through
+/// [`cache::compute_plan`], which shares one W/D computation across the
+/// passes; keeping this path independent makes it a differential-testing
+/// oracle (and the benchmark baseline) for the memoized engine.
 fn point_for_factor(g: &Dfg, f: usize, n: u64, mode: DecMode) -> TradeoffPoint {
     let u = unfold(g, f);
     let opt = min_period_retiming(&u.graph);
     let r_f = min_span_retiming(&u.graph, opt.period).expect("optimum feasible");
     let r_f = compact_values(&u.graph, opt.period, &r_f);
     let projected = project_retiming(&u, &r_f);
-    let plain = retime_unfold_program(g, &projected, f, n);
-    let cred = cred_retime_unfold(g, &projected, f, n, mode);
+    let plan = FactorPlan {
+        projected,
+        period: opt.period,
+    };
+    point_from_plan(g, f, &plan, n, mode)
+}
+
+/// Materialize a [`TradeoffPoint`] from a (possibly cached) plan. Code
+/// generation is deterministic, so identical plans give identical points.
+fn point_from_plan(g: &Dfg, f: usize, plan: &FactorPlan, n: u64, mode: DecMode) -> TradeoffPoint {
+    let plain = retime_unfold_program(g, &plan.projected, f, n);
+    let cred = cred_retime_unfold(g, &plan.projected, f, n, mode);
     TradeoffPoint {
         f,
-        m_r: projected.max_value(),
+        m_r: plan.projected.max_value(),
         plain_size: plain.code_size(),
         cred_size: cred.code_size(),
-        iteration_period: Ratio::new(opt.period as i64, f as i64),
-        registers: projected.register_count(),
+        iteration_period: Ratio::new(plan.period as i64, f as i64),
+        registers: plan.projected.register_count(),
     }
 }
 
@@ -67,6 +98,80 @@ pub fn sweep(g: &Dfg, max_f: usize, n: u64, mode: DecMode) -> Vec<TradeoffPoint>
     (1..=max_f)
         .map(|f| point_for_factor(g, f, n, mode))
         .collect()
+}
+
+/// [`sweep`] through the memoized engine: plans come from `cache`, so W/D
+/// matrices are computed once per factor and repeated sweeps of the same
+/// graph are answered from the memo table. Returns exactly what [`sweep`]
+/// returns.
+pub fn sweep_cached(
+    g: &Dfg,
+    max_f: usize,
+    n: u64,
+    mode: DecMode,
+    cache: &SweepCache,
+) -> Vec<TradeoffPoint> {
+    (1..=max_f)
+        .map(|f| point_from_plan(g, f, &cache.plan(g, f), n, mode))
+        .collect()
+}
+
+/// [`sweep`] sharded across `threads` scoped worker threads, with a
+/// private [`SweepCache`] for the call. See [`par_sweep_with`].
+pub fn par_sweep(
+    g: &Dfg,
+    max_f: usize,
+    n: u64,
+    mode: DecMode,
+    threads: usize,
+) -> Vec<TradeoffPoint> {
+    par_sweep_with(g, max_f, n, mode, threads, &SweepCache::new())
+}
+
+/// [`sweep`] sharded across `threads` scoped worker threads sharing
+/// `cache`.
+///
+/// Workers claim unfolding factors from an atomic counter (work stealing,
+/// not static chunking: large factors unfold to larger graphs, so the work
+/// per factor is very uneven). Each point is produced independently of the
+/// others, so the result is identical to [`sweep`]'s regardless of thread
+/// count or interleaving; the output is sorted back into factor order.
+pub fn par_sweep_with(
+    g: &Dfg,
+    max_f: usize,
+    n: u64,
+    mode: DecMode,
+    threads: usize,
+    cache: &SweepCache,
+) -> Vec<TradeoffPoint> {
+    let threads = threads.clamp(1, max_f.max(1));
+    if threads == 1 {
+        return sweep_cached(g, max_f, n, mode, cache);
+    }
+    let next = AtomicUsize::new(1);
+    let mut tagged: Vec<(usize, TradeoffPoint)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let f = next.fetch_add(1, Ordering::Relaxed);
+                        if f > max_f {
+                            break;
+                        }
+                        out.push((f, point_from_plan(g, f, &cache.plan(g, f), n, mode)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(f, _)| f);
+    tagged.into_iter().map(|(_, p)| p).collect()
 }
 
 /// Non-dominated subset by (CRED code size, iteration period): a point is
@@ -113,16 +218,18 @@ pub fn best_under_register_budget(
     let mut best: Option<TradeoffPoint> = None;
     for f in 1..=max_f {
         let u = unfold(g, f);
-        let opt = min_period_retiming(&u.graph);
-        // Scan candidate periods upward until the register budget holds.
+        // One W/D computation serves the period search and every probe of
+        // the candidate scan below.
         let wd = cred_dfg::algo::WdMatrices::compute(&u.graph);
+        let opt = min_period_retiming_with(&u.graph, &wd);
+        // Scan candidate periods upward until the register budget holds.
         let mut cands: Vec<i64> = wd.candidate_periods();
         cands.retain(|&c| c >= opt.period as i64);
         for c in cands {
-            let Some(r_f) = min_span_retiming(&u.graph, c as u64) else {
+            let Some(r_f) = min_span_retiming_with(&u.graph, &wd, c as u64) else {
                 continue;
             };
-            let r_f = compact_values(&u.graph, c as u64, &r_f);
+            let r_f = compact_values_wd(&u.graph, &wd, c as u64, &r_f);
             let projected = project_retiming(&u, &r_f);
             if projected.register_count() > p_max {
                 continue;

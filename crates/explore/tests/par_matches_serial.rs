@@ -1,0 +1,78 @@
+//! Differential tests: the parallel, memoized sweep must be
+//! indistinguishable from the serial reference sweep — on random graphs,
+//! on every bundled kernel, and through the shared-cache suite runner.
+
+use std::path::Path;
+
+use cred_codegen::DecMode;
+use cred_dfg::gen::{self, RandomDfgConfig};
+use cred_explore::cache::SweepCache;
+use cred_explore::suite::load_kernels;
+use cred_explore::{par_sweep, par_sweep_with, sweep, sweep_cached};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn par_sweep_matches_sweep_on_random_dfgs(
+        seed in 0..u64::MAX,
+        nodes in 3..9usize,
+        back_edges in 1..3usize,
+        max_f in 1..4usize,
+        threads in 1..5usize,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_dfg(
+            &mut rng,
+            &RandomDfgConfig {
+                nodes,
+                back_edges,
+                ..Default::default()
+            },
+        );
+        let serial = sweep(&g, max_f, 60, DecMode::Bulk);
+        let parallel = par_sweep(&g, max_f, 60, DecMode::Bulk, threads);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn cached_resweep_is_answered_from_the_memo(
+        seed in 0..u64::MAX,
+        nodes in 3..8usize,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_dfg(
+            &mut rng,
+            &RandomDfgConfig { nodes, ..Default::default() },
+        );
+        let cache = SweepCache::new();
+        let first = sweep_cached(&g, 3, 60, DecMode::PerCopy, &cache);
+        let misses_after_first = cache.misses();
+        let second = sweep_cached(&g, 3, 60, DecMode::PerCopy, &cache);
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(cache.misses(), misses_after_first,
+            "re-sweeping the same graph must not run the solver again");
+        prop_assert!(cache.hits() >= 3);
+    }
+}
+
+#[test]
+fn par_sweep_matches_sweep_on_all_bundled_kernels() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../kernels");
+    let kernels = load_kernels(&dir).expect("bundled kernels parse");
+    assert_eq!(kernels.len(), 10);
+    let cache = SweepCache::new();
+    for (name, g) in &kernels {
+        let serial = sweep(g, 3, 100, DecMode::Bulk);
+        for threads in [1, 2, 4, 8] {
+            let parallel = par_sweep_with(g, 3, 100, DecMode::Bulk, threads, &cache);
+            assert_eq!(serial, parallel, "kernel {name} at {threads} threads");
+        }
+    }
+    // 10 kernels * 3 factors solved once each; the re-runs at higher
+    // thread counts all hit the shared cache.
+    assert_eq!(cache.misses(), 30);
+    assert_eq!(cache.hits(), 90);
+}

@@ -42,5 +42,8 @@ mod retiming;
 pub mod span;
 
 pub use constraints::ConstraintSystem;
-pub use minperiod::{min_period_retiming, retime_to_period, MinPeriodResult};
+pub use minperiod::{
+    min_period_retiming, min_period_retiming_with, retime_to_period, retime_to_period_with,
+    MinPeriodResult,
+};
 pub use retiming::Retiming;

@@ -26,8 +26,16 @@ pub struct MinPeriodResult {
 
 /// Build the feasibility constraint system for period `c`.
 pub fn constraints_for_period(g: &Dfg, wd: &WdMatrices, c: i64) -> ConstraintSystem {
+    let mut sys = ConstraintSystem::new(g.node_count());
+    add_period_constraints(&mut sys, g, wd, c);
+    sys
+}
+
+/// Add the period-`c` feasibility constraints to `sys`, whose first
+/// `g.node_count()` variables are the retiming values (it may have more —
+/// the span minimizer appends an auxiliary variable).
+pub(crate) fn add_period_constraints(sys: &mut ConstraintSystem, g: &Dfg, wd: &WdMatrices, c: i64) {
     let n = g.node_count();
-    let mut sys = ConstraintSystem::new(n);
     for e in g.edge_ids() {
         let ed = g.edge(e);
         sys.add(ed.dst.index(), ed.src.index(), ed.delay as i64);
@@ -41,7 +49,6 @@ pub fn constraints_for_period(g: &Dfg, wd: &WdMatrices, c: i64) -> ConstraintSys
             }
         }
     }
-    sys
 }
 
 /// Find a legal retiming achieving cycle period `<= c`, if one exists.
@@ -70,22 +77,31 @@ pub fn retime_to_period_with(g: &Dfg, wd: &WdMatrices, c: u64) -> Option<Retimin
 /// # Panics
 /// Panics on an empty or malformed graph.
 pub fn min_period_retiming(g: &Dfg) -> MinPeriodResult {
+    let wd = WdMatrices::compute(g);
+    min_period_retiming_with(g, &wd)
+}
+
+/// [`min_period_retiming`] with a precomputed W/D matrix, for callers that
+/// run several retiming passes over the same graph (the exploration
+/// engine's memoized path computes the matrix once per unfolded graph and
+/// shares it between the period search, span minimization, and register
+/// compaction).
+pub fn min_period_retiming_with(g: &Dfg, wd: &WdMatrices) -> MinPeriodResult {
     g.validate()
         .expect("min_period_retiming requires a well-formed DFG");
-    let wd = WdMatrices::compute(g);
     let cands = wd.candidate_periods();
     assert!(!cands.is_empty());
     // Feasibility is monotone in c, so binary search over sorted candidates.
     let mut lo = 0usize; // lowest untested index
     let mut hi = cands.len() - 1; // known feasible? the max D is always feasible
     debug_assert!(
-        retime_to_period_with(g, &wd, cands[hi] as u64).is_some(),
+        retime_to_period_with(g, wd, cands[hi] as u64).is_some(),
         "the maximum D entry must always be feasible (zero retiming)"
     );
     let mut best = None;
     while lo <= hi {
         let mid = lo + (hi - lo) / 2;
-        if let Some(r) = retime_to_period_with(g, &wd, cands[mid] as u64) {
+        if let Some(r) = retime_to_period_with(g, wd, cands[mid] as u64) {
             best = Some((r, cands[mid] as u64));
             if mid == 0 {
                 break;
@@ -222,6 +238,26 @@ mod tests {
         let g = gen::chain_with_feedback(4, 4);
         let res = min_period_retiming(&g);
         assert!(res.retiming.is_normalized());
+    }
+
+    #[test]
+    fn precomputed_wd_gives_identical_result() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let g = gen::random_dfg(
+                &mut rng,
+                &gen::RandomDfgConfig {
+                    nodes: 8,
+                    ..Default::default()
+                },
+            );
+            let fresh = min_period_retiming(&g);
+            let wd = WdMatrices::compute(&g);
+            let memo = min_period_retiming_with(&g, &wd);
+            assert_eq!(fresh.period, memo.period);
+            assert_eq!(fresh.retiming, memo.retiming);
+        }
     }
 
     #[test]

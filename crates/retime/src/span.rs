@@ -9,7 +9,7 @@
 //!   `|N_r|`, the number of conditional registers CRED needs (Theorem 4.3),
 //!   without breaking legality or the period.
 
-use crate::minperiod::constraints_for_period;
+use crate::minperiod::{add_period_constraints, constraints_for_period};
 use crate::{ConstraintSystem, Retiming};
 use cred_dfg::algo::WdMatrices;
 use cred_dfg::Dfg;
@@ -22,7 +22,13 @@ use cred_dfg::Dfg;
 /// probe is one Bellman–Ford solve, so the result is exact, not heuristic.
 pub fn min_span_retiming(g: &Dfg, c: u64) -> Option<Retiming> {
     let wd = WdMatrices::compute(g);
-    let base = constraints_for_period(g, &wd, c as i64);
+    min_span_retiming_with(g, &wd, c)
+}
+
+/// [`min_span_retiming`] with a precomputed W/D matrix, so callers running
+/// several retiming passes over the same graph pay for Floyd–Warshall once.
+pub fn min_span_retiming_with(g: &Dfg, wd: &WdMatrices, c: u64) -> Option<Retiming> {
+    let base = constraints_for_period(g, wd, c as i64);
     let base_sol = base.solve()?;
     let mut base_r = Retiming::from_values(base_sol);
     base_r.normalize();
@@ -31,7 +37,7 @@ pub fn min_span_retiming(g: &Dfg, c: u64) -> Option<Retiming> {
     let mut best = base_r;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        match solve_with_span(g, &wd, c as i64, mid) {
+        match solve_with_span(g, wd, c as i64, mid) {
             Some(r) => {
                 best = r;
                 hi = mid;
@@ -60,6 +66,60 @@ fn solve_with_span(g: &Dfg, wd: &WdMatrices, c: i64, span: i64) -> Option<Retimi
     Some(r)
 }
 
+/// Engine-path variant of [`min_span_retiming_with`]: identical results,
+/// cheaper probes (used by the exploration engine's memoized plans).
+///
+/// Two redundancies of the reference path are removed:
+///
+/// * `base` must be the solver's (normalized) solution of the plain
+///   period-`c` system — exactly what [`crate::retime_to_period_with`]
+///   returns for the same `(g, wd, c)` — so the base solve is skipped; the
+///   caller's final feasibility probe already produced it.
+/// * Each span probe encodes the all-pairs constraints
+///   `r(u) - r(v) <= s` through one auxiliary variable `z` with
+///   `r(u) - z <= 0` and `z - r(v) <= s` (`2|V|` edges instead of
+///   `|V|^2`). Compositions of the two aux edges reproduce every dense
+///   span edge and vice versa, and the extension `z = max r` shows both
+///   systems bound the real variables identically, so the solver's
+///   pointwise-maximal solution restricted to the real nodes — and hence
+///   the returned retiming — is the same, bit for bit.
+pub fn min_span_retiming_from_base(g: &Dfg, wd: &WdMatrices, c: u64, base: &Retiming) -> Retiming {
+    let mut lo = 0i64;
+    let mut hi = base.span();
+    let mut best = base.clone();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match solve_with_span_aux(g, wd, c as i64, mid) {
+            Some(r) => {
+                best = r;
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    debug_assert!(best.is_legal(g));
+    best
+}
+
+/// [`solve_with_span`] through the auxiliary-variable encoding; returns
+/// the identical retiming (see [`min_span_retiming_from_base`]).
+fn solve_with_span_aux(g: &Dfg, wd: &WdMatrices, c: i64, span: i64) -> Option<Retiming> {
+    let n = g.node_count();
+    let z = n; // auxiliary variable: max of all retiming values
+    let mut sys = ConstraintSystem::new(n + 1);
+    add_period_constraints(&mut sys, g, wd, c);
+    for u in 0..n {
+        sys.add(u, z, 0);
+        sys.add(z, u, span);
+    }
+    let mut sol = sys.solve()?;
+    sol.truncate(n);
+    let mut r = Retiming::from_values(sol);
+    r.normalize();
+    debug_assert!(r.span() <= span);
+    Some(r)
+}
+
 /// Greedily reduce the number of distinct retiming values of `r` while
 /// keeping every constraint of the period-`c` system satisfied.
 ///
@@ -71,7 +131,13 @@ fn solve_with_span(g: &Dfg, wd: &WdMatrices, c: i64, span: i64) -> Option<Retimi
 /// used by one node that can slide to a neighbour).
 pub fn compact_values(g: &Dfg, c: u64, r: &Retiming) -> Retiming {
     let wd = WdMatrices::compute(g);
-    let sys = constraints_for_period(g, &wd, c as i64);
+    compact_values_wd(g, &wd, c, r)
+}
+
+/// [`compact_values`] with a precomputed W/D matrix (see
+/// [`min_span_retiming_with`]).
+pub fn compact_values_wd(g: &Dfg, wd: &WdMatrices, c: u64, r: &Retiming) -> Retiming {
+    let sys = constraints_for_period(g, wd, c as i64);
     compact_values_with(&sys, r)
 }
 
@@ -160,6 +226,32 @@ mod tests {
                 Some(opt.period),
                 "span minimization must not lose the period"
             );
+        }
+    }
+
+    #[test]
+    fn from_base_variant_is_bit_identical() {
+        use crate::retime_to_period_with;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..25 {
+            let g = gen::random_dfg(
+                &mut rng,
+                &gen::RandomDfgConfig {
+                    nodes: 9,
+                    max_delay: 3,
+                    ..Default::default()
+                },
+            );
+            let wd = WdMatrices::compute(&g);
+            let opt = min_period_retiming(&g);
+            // Probe both the optimal period and a relaxed one.
+            for c in [opt.period, opt.period + 1] {
+                let reference = min_span_retiming_with(&g, &wd, c).unwrap();
+                let base = retime_to_period_with(&g, &wd, c).unwrap();
+                let fast = min_span_retiming_from_base(&g, &wd, c, &base);
+                assert_eq!(reference, fast, "period {c}");
+            }
         }
     }
 
