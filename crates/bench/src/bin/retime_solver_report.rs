@@ -1,0 +1,150 @@
+//! Solver-layer timing report: the dense reference path (full constraint
+//! system + Bellman–Ford per probe) against the warm-started incremental
+//! SPFA solver, per bundled kernel and on the elliptic unfolding sweep.
+//!
+//! Every timed pair is also checked for bit-identical results before it is
+//! reported. Prints one JSON document (the seed for `BENCH_retime.json`)
+//! to stdout, or to the file given with `--out <path>`.
+//!
+//! ```text
+//! cargo run --release -p cred-bench --bin retime_solver_report -- --out BENCH_retime.json
+//! ```
+
+use std::time::Instant;
+
+use cred_dfg::algo::WdMatrices;
+use cred_dfg::Dfg;
+use cred_retime::minperiod::min_period_retiming_reference;
+use cred_retime::span::min_span_retiming_reference;
+use cred_retime::{RetimeSolver, Retiming, SolverScratch};
+use cred_unfold::unfold;
+
+const REPS: usize = 7;
+const SWEEP_MAX_F: usize = 4;
+
+/// Wall-clock of the fastest of `reps` runs, in nanoseconds. Minimum (not
+/// mean) because the interesting quantity is the cost of the work itself,
+/// not scheduler noise on a loaded CI box.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> u128 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .min()
+        .expect("reps >= 1")
+}
+
+/// One min-period + min-span pass through the reference solver.
+fn reference_pass(g: &Dfg, wd: &WdMatrices) -> (u64, Retiming) {
+    let opt = min_period_retiming_reference(g, wd);
+    let r = min_span_retiming_reference(g, wd, opt.period).unwrap();
+    (opt.period, r)
+}
+
+/// The same pass through the incremental solver, reusing `scratch`.
+fn incremental_pass(
+    g: &Dfg,
+    wd: &WdMatrices,
+    scratch: SolverScratch,
+) -> (u64, Retiming, SolverScratch) {
+    let mut solver = RetimeSolver::with_scratch(g, wd, scratch);
+    let opt = solver.min_period();
+    let r = solver.min_span_from_base(opt.period, &opt.retiming);
+    (opt.period, r, solver.into_scratch())
+}
+
+fn time_kernel(name: &str, g: &Dfg) -> String {
+    let wd = WdMatrices::compute(g);
+    let (p_ref, r_ref) = reference_pass(g, &wd);
+    let (p_inc, r_inc, _) = incremental_pass(g, &wd, SolverScratch::new());
+    assert_eq!((p_ref, &r_ref), (p_inc, &r_inc), "{name}: results diverge");
+    let reference = best_of(REPS, || {
+        std::hint::black_box(reference_pass(g, &wd));
+    });
+    let incremental = best_of(REPS, || {
+        std::hint::black_box(incremental_pass(g, &wd, SolverScratch::new()));
+    });
+    format!(
+        "    {{ \"name\": \"{name}\", \"nodes\": {}, \"reference_ns\": {reference}, \
+         \"incremental_ns\": {incremental}, \"speedup\": {:.3} }}",
+        g.node_count(),
+        reference as f64 / incremental as f64
+    )
+}
+
+fn time_sweep(name: &str, g: &Dfg) -> String {
+    let graphs: Vec<(Dfg, WdMatrices)> = (1..=SWEEP_MAX_F)
+        .map(|f| {
+            let u = unfold(g, f).graph;
+            let wd = WdMatrices::compute(&u);
+            (u, wd)
+        })
+        .collect();
+    for (u, wd) in &graphs {
+        let (p_ref, r_ref) = reference_pass(u, wd);
+        let (p_inc, r_inc, _) = incremental_pass(u, wd, SolverScratch::new());
+        assert_eq!((p_ref, r_ref), (p_inc, r_inc), "{name} sweep diverges");
+    }
+    let reference = best_of(REPS, || {
+        for (u, wd) in &graphs {
+            std::hint::black_box(reference_pass(u, wd));
+        }
+    });
+    let incremental = best_of(REPS, || {
+        let mut scratch = SolverScratch::new();
+        for (u, wd) in &graphs {
+            let (p, r, s) = incremental_pass(u, wd, scratch);
+            std::hint::black_box((p, r));
+            scratch = s;
+        }
+    });
+    format!(
+        "  {{ \"name\": \"{name}\", \"max_f\": {SWEEP_MAX_F}, \"reference_ns\": {reference}, \
+         \"incremental_ns\": {incremental}, \"speedup\": {:.3} }}",
+        reference as f64 / incremental as f64
+    )
+}
+
+fn main() {
+    let mut out_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            other => {
+                eprintln!("retime_solver_report: unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let kernels = [
+        ("iir", cred_kernels::iir_filter()),
+        ("allpole", cred_kernels::all_pole_filter()),
+        ("lattice", cred_kernels::lattice_filter()),
+        ("volterra", cred_kernels::volterra_filter()),
+        ("elliptic", cred_kernels::elliptic_filter()),
+    ];
+    let timed: Vec<String> = kernels.iter().map(|(n, g)| time_kernel(n, g)).collect();
+    let sweep = time_sweep("elliptic", &kernels.last().unwrap().1);
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    doc.push_str(&format!("\"machine_threads\": {cores},\n"));
+    doc.push_str(&format!("\"reps_min_of\": {REPS},\n"));
+    doc.push_str("\"pass\": \"min_period + min_span at the optimum (W/D precomputed)\",\n");
+    doc.push_str("\"kernels\": [\n");
+    doc.push_str(&timed.join(",\n"));
+    doc.push_str("\n],\n");
+    doc.push_str("\"unfold_sweep\": ");
+    doc.push_str(&sweep);
+    doc.push_str("\n}\n");
+
+    match out_path {
+        Some(p) => std::fs::write(&p, &doc).expect("write --out file"),
+        None => print!("{doc}"),
+    }
+}

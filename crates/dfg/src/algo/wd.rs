@@ -19,8 +19,9 @@ use crate::Dfg;
 
 const INF: i64 = i64::MAX / 4;
 
-/// Dense `W`/`D` matrices for all node pairs. `None` entries mean `v` is
-/// unreachable from `u`.
+/// Dense `W`/`D` matrices for all node pairs, stored flat with an `INF`
+/// sentinel (`v` unreachable from `u`); the `Option` accessors translate
+/// the sentinel at the call site.
 #[derive(Debug, Clone)]
 pub struct WdMatrices {
     n: usize,
@@ -28,6 +29,12 @@ pub struct WdMatrices {
     w: Vec<i64>,
     neg_t: Vec<i64>,
     times: Vec<i64>,
+    /// Every reachable pair as `(D(u, v), u, v)`, sorted by `D` descending
+    /// (ties by `(u, v)` ascending). The period-`c` feasibility constraints
+    /// are exactly the pairs with `D > c`, so this is the *activation
+    /// order*: tightening `c` activates a longer prefix of this list. The
+    /// incremental retiming solver consumes it verbatim.
+    activation: Vec<(i64, u32, u32)>,
 }
 
 impl WdMatrices {
@@ -68,8 +75,26 @@ impl WdMatrices {
                 }
             }
         }
-        let times = g.node_ids().map(|v| g.node(v).time as i64).collect();
-        WdMatrices { n, w, neg_t, times }
+        let times: Vec<i64> = g.node_ids().map(|v| g.node(v).time as i64).collect();
+        let mut activation = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                let nt = neg_t[at(u, v)];
+                if nt < INF {
+                    activation.push((times[v] - nt, u as u32, v as u32));
+                }
+            }
+        }
+        // D descending; the (u, v)-ascending tie-break keeps the order (and
+        // everything derived from it) deterministic.
+        activation.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        WdMatrices {
+            n,
+            w,
+            neg_t,
+            times,
+            activation,
+        }
     }
 
     /// Number of nodes.
@@ -95,13 +120,19 @@ impl WdMatrices {
         (x < INF).then_some(self.times[v] - x)
     }
 
+    /// All reachable pairs as `(D(u, v), u, v)` sorted by `D` descending —
+    /// the order in which the period-`c` constraints `r(v) - r(u) <=
+    /// W(u, v) - 1` activate as `c` tightens (a pair is active iff
+    /// `D > c`, so every period selects a prefix of this list).
+    pub fn activation_by_d(&self) -> &[(i64, u32, u32)] {
+        &self.activation
+    }
+
     /// All distinct finite `D` values, sorted ascending — the candidate
-    /// clock periods for min-period retiming.
+    /// clock periods for min-period retiming. Derived from the precomputed
+    /// activation order, so this is a linear scan, not an `O(V^2)` re-sort.
     pub fn candidate_periods(&self) -> Vec<i64> {
-        let mut out: Vec<i64> = (0..self.n)
-            .flat_map(|u| (0..self.n).filter_map(move |v| self.d(u, v)))
-            .collect();
-        out.sort_unstable();
+        let mut out: Vec<i64> = self.activation.iter().rev().map(|&(d, _, _)| d).collect();
         out.dedup();
         out
     }
@@ -214,6 +245,29 @@ mod tests {
         assert!(cands.windows(2).all(|w| w[0] < w[1]));
         assert!(cands.contains(&3)); // single node
         assert!(cands.contains(&12)); // whole ring
+    }
+
+    #[test]
+    fn activation_order_is_sorted_and_complete() {
+        let (g, _) = correlator();
+        let wd = WdMatrices::compute(&g);
+        let act = wd.activation_by_d();
+        // Sorted: D descending, ties broken by (u, v) ascending.
+        assert!(act.windows(2).all(|w| w[0].0 >= w[1].0));
+        assert!(act
+            .windows(2)
+            .all(|w| w[0].0 > w[1].0 || (w[0].1, w[0].2) < (w[1].1, w[1].2)));
+        // Complete and consistent: exactly the reachable pairs, with the
+        // matrix accessors' D values.
+        let n = g.node_count();
+        let reachable: Vec<(i64, u32, u32)> = (0..n)
+            .flat_map(|u| (0..n).map(move |v| (u, v)))
+            .filter_map(|(u, v)| wd.d(u, v).map(|d| (d, u as u32, v as u32)))
+            .collect();
+        assert_eq!(act.len(), reachable.len());
+        let mut sorted = reachable;
+        sorted.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        assert_eq!(act, &sorted[..]);
     }
 
     #[test]

@@ -24,8 +24,8 @@ use std::sync::{Arc, Mutex};
 
 use cred_dfg::algo::WdMatrices;
 use cred_dfg::Dfg;
-use cred_retime::span::{compact_values_wd, min_span_retiming_from_base};
-use cred_retime::{min_period_retiming_with, Retiming};
+use cred_retime::span::compact_values_wd;
+use cred_retime::{RetimeSolver, Retiming};
 use cred_unfold::orders::project_retiming;
 use cred_unfold::unfold;
 
@@ -43,20 +43,22 @@ pub struct FactorPlan {
     pub period: u64,
 }
 
-/// Compute a [`FactorPlan`] with a single shared W/D computation.
+/// Compute a [`FactorPlan`] with a single shared W/D computation and one
+/// warm-started solver.
 ///
 /// This is the uncached fast path; [`SweepCache::plan`] wraps it with
 /// memoization. It yields plans identical to [`crate::sweep`]'s per-point
 /// pipeline while doing strictly less work: Floyd–Warshall runs once
-/// instead of three times, the span minimizer starts from the period
-/// search's final solution instead of re-solving it, and its probes use
-/// the sparse auxiliary-variable span encoding
-/// ([`min_span_retiming_from_base`]).
+/// instead of three times, and one [`RetimeSolver`] carries its CSR graph
+/// and warm-start state from the period search straight into the span
+/// minimization — the span pass starts from the search's final feasible
+/// fixpoint instead of re-solving the period system.
 pub fn compute_plan(g: &Dfg, f: usize) -> FactorPlan {
     let u = unfold(g, f);
     let wd = WdMatrices::compute(&u.graph);
-    let opt = min_period_retiming_with(&u.graph, &wd);
-    let r_f = min_span_retiming_from_base(&u.graph, &wd, opt.period, &opt.retiming);
+    let mut solver = RetimeSolver::new(&u.graph, &wd);
+    let opt = solver.min_period();
+    let r_f = solver.min_span_from_base(opt.period, &opt.retiming);
     let r_f = compact_values_wd(&u.graph, &wd, opt.period, &r_f);
     let projected = project_retiming(&u, &r_f);
     FactorPlan {

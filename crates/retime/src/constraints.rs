@@ -6,12 +6,23 @@
 //! to every node) has no negative cycle; shortest distances from the source
 //! are then a solution.
 
+use std::collections::HashMap;
+
 /// A system of difference constraints over `n` variables.
+///
+/// Constraints are deduplicated at [`add`](ConstraintSystem::add) time:
+/// for each `(a, b)` pair only the tightest (smallest) bound is kept, in
+/// first-insertion order, so dense systems (the `O(V^2)` period
+/// constraints of retiming, which overlap the legality edges) shrink
+/// before any solver sees them.
 #[derive(Debug, Clone)]
 pub struct ConstraintSystem {
     n: usize,
-    /// `(a, b, c)` encodes `x[a] - x[b] <= c`.
+    /// `(a, b, c)` encodes `x[a] - x[b] <= c`; at most one entry per
+    /// `(a, b)` pair, holding the tightest bound added so far.
     constraints: Vec<(usize, usize, i64)>,
+    /// `(a, b)` -> index into `constraints`.
+    index: HashMap<(usize, usize), usize>,
 }
 
 impl ConstraintSystem {
@@ -20,6 +31,7 @@ impl ConstraintSystem {
         ConstraintSystem {
             n,
             constraints: Vec::new(),
+            index: HashMap::new(),
         }
     }
 
@@ -38,15 +50,26 @@ impl ConstraintSystem {
         self.constraints.is_empty()
     }
 
-    /// The raw constraint triples `(a, b, c)` meaning `x[a] - x[b] <= c`.
+    /// The raw constraint triples `(a, b, c)` meaning `x[a] - x[b] <= c`,
+    /// one per `(a, b)` pair, in first-insertion order (deterministic).
     pub fn constraints(&self) -> &[(usize, usize, i64)] {
         &self.constraints
     }
 
-    /// Add `x[a] - x[b] <= c`.
+    /// Add `x[a] - x[b] <= c`. A repeated `(a, b)` pair tightens the
+    /// stored bound in place (`min`) instead of growing the system.
     pub fn add(&mut self, a: usize, b: usize, c: i64) {
         assert!(a < self.n && b < self.n, "variable out of range");
-        self.constraints.push((a, b, c));
+        match self.index.entry((a, b)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let slot = &mut self.constraints[*e.get()].2;
+                *slot = (*slot).min(c);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.constraints.len());
+                self.constraints.push((a, b, c));
+            }
+        }
     }
 
     /// Check whether `x` satisfies every constraint.
@@ -64,7 +87,11 @@ impl ConstraintSystem {
         // x[a] - x[b] <= c is the edge b -> a with weight c:
         // relax dist[a] <- min(dist[a], dist[b] + c).
         let mut dist = vec![0i64; self.n];
-        for round in 0..=self.n {
+        // A fixpoint, if one exists, is reached within n rounds (shortest
+        // paths from the virtual source have at most n edges); running
+        // n + 1 rounds without quiescing therefore proves a negative cycle,
+        // and the fall-through below is the single infeasibility exit.
+        for _round in 0..=self.n {
             let mut changed = false;
             for &(a, b, c) in &self.constraints {
                 let cand = dist[b].saturating_add(c);
@@ -77,11 +104,8 @@ impl ConstraintSystem {
                 debug_assert!(self.satisfied_by(&dist));
                 return Some(dist);
             }
-            if round == self.n {
-                return None; // still relaxing after n rounds: negative cycle
-            }
         }
-        None
+        None // still relaxing after n + 1 rounds: negative cycle
     }
 }
 
@@ -143,6 +167,33 @@ mod tests {
         assert!(sys.solve().is_some());
         sys.add(0, 0, -1);
         assert_eq!(sys.solve(), None);
+    }
+
+    #[test]
+    fn add_dedups_keeping_tightest_in_insertion_order() {
+        let mut sys = ConstraintSystem::new(3);
+        sys.add(0, 1, 5);
+        sys.add(1, 2, 4);
+        sys.add(0, 1, 2);
+        sys.add(0, 1, 7);
+        assert_eq!(sys.len(), 2);
+        assert_eq!(sys.constraints(), &[(0, 1, 2), (1, 2, 4)]);
+    }
+
+    #[test]
+    fn negative_cycle_exit_is_reached_exactly_when_infeasible() {
+        // Zero-weight cycle: feasible, quiesces. Perturb one bound by -1:
+        // the same loop must fall through to the negative-cycle exit.
+        let mut sys = ConstraintSystem::new(3);
+        sys.add(0, 1, 1);
+        sys.add(1, 2, 1);
+        sys.add(2, 0, -2);
+        assert!(sys.solve().is_some());
+        let mut bad = ConstraintSystem::new(3);
+        bad.add(0, 1, 1);
+        bad.add(1, 2, 1);
+        bad.add(2, 0, -3);
+        assert_eq!(bad.solve(), None);
     }
 
     #[test]

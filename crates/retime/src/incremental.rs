@@ -1,0 +1,685 @@
+//! Warm-started incremental solver for the retiming constraint systems.
+//!
+//! The reference path ([`crate::ConstraintSystem`]) rebuilds the full
+//! `O(V^2)` difference-constraint system and re-runs a dense edge-list
+//! Bellman–Ford from an all-zero start for *every* feasibility probe of the
+//! period search. But the constraint set for a smaller period `c` is a
+//! strict superset of the one for a larger `c` (Leiserson–Saxe: the
+//! period-`c` constraints are the pairs with `D(u, v) > c`), so this module
+//! solves the whole search incrementally:
+//!
+//! * [`CsrConstraintGraph`] stores the legality edges once in CSR form and
+//!   the period constraints as a per-row tail sorted by `D` descending;
+//!   a period `c` activates a *prefix* of each tail (and of the global
+//!   activation order) instead of rebuilding anything.
+//! * The solver core is a queue-based SPFA (deque with smallest-label-first
+//!   placement, an in-queue bitmap, and walk-length negative-cycle
+//!   detection) over the CSR graph; all of its state lives in a reusable
+//!   [`SolverScratch`] arena, so repeated solves allocate nothing.
+//! * [`RetimeSolver`] warm-starts every probe: tightening `c` restores the
+//!   last feasible fixpoint, activates the new constraint prefix, and seeds
+//!   the queue with only the newly activated edges. Because the systems are
+//!   nested and relaxation fixpoints are unique, the warm solve converges to
+//!   the *same* distance vector the cold reference computes — results are
+//!   bit-identical, which the differential property tests assert.
+//!
+//! The span minimizer rides the same state: its auxiliary variable `z`
+//! (`r(u) - z <= 0`, `z - r(v) <= s`) is a permanent extra vertex whose
+//! edges are materialized implicitly during span probes, and each probe
+//! warm-starts from the last feasible span solution.
+//!
+//! ## Why warm starts stay exact
+//!
+//! The canonical solution is the pointwise-*maximal* non-positive solution
+//! `x*`, i.e. the shortest-path distances from a virtual source. Relaxation
+//! from any starting vector `d0` with `x* <= d0 <= 0` is monotone
+//! non-increasing, never crosses below `x*` (induction over relaxations),
+//! and any quiescent point is a solution, so it terminates exactly at `x*`.
+//! Tightening the system (activating constraints, shrinking a span bound)
+//! only lowers `x*`, so the previous feasible fixpoint is always a valid
+//! `d0`. Infeasibility is detected by walk length: a relaxation chain of
+//! `|vars|` edges must revisit a vertex, and a revisit with strict
+//! improvement certifies a negative cycle.
+
+use crate::minperiod::MinPeriodResult;
+use crate::Retiming;
+use cred_dfg::algo::WdMatrices;
+use cred_dfg::Dfg;
+use std::collections::VecDeque;
+
+/// Sentinel period: "no period constraints active" (legality edges only).
+const NO_PERIOD: i64 = i64::MAX;
+/// Sentinel span: "no feasible span snapshot".
+const NO_SPAN: i64 = -1;
+
+/// The retiming constraint graph in compressed-sparse-row form.
+///
+/// Built once per `(graph, W/D)` pair. Variables `0..n` are the retiming
+/// values; variable `n` is the span minimizer's auxiliary `max r` vertex
+/// (its edges are implicit — weight `0` out, the probed span in — so they
+/// need no storage). A constraint `x[a] - x[b] <= c` is the edge `b -> a`
+/// with weight `c`:
+///
+/// * legality edges `src -> dst` with weight `d(e)` are static (always
+///   active) and stored CSR-style in `leg_*`;
+/// * period edges `u -> v` with weight `W(u, v) - 1` are stored per source
+///   row sorted by `D(u, v)` descending, so the active edges of row `u`
+///   for any period `c` are the prefix of length `active[u]`;
+/// * `act_*` is the same edge set in global activation order (`D`
+///   descending), which is what the warm-start walks when the period
+///   tightens.
+#[derive(Debug, Clone)]
+pub struct CsrConstraintGraph {
+    n: usize,
+    leg_row: Vec<u32>,
+    leg_col: Vec<u32>,
+    leg_w: Vec<i64>,
+    per_row: Vec<u32>,
+    per_col: Vec<u32>,
+    per_w: Vec<i64>,
+    /// Activation order: for entry `i`, `act_edge[i]` indexes `per_col` /
+    /// `per_w`, `act_src[i]` is its source row, `act_d[i]` its `D` value
+    /// (non-increasing in `i`).
+    act_edge: Vec<u32>,
+    act_src: Vec<u32>,
+    act_d: Vec<i64>,
+}
+
+impl CsrConstraintGraph {
+    /// Build the CSR graph for `g` from its W/D matrices.
+    pub fn build(g: &Dfg, wd: &WdMatrices) -> Self {
+        let n = g.node_count();
+        assert_eq!(wd.len(), n, "W/D matrices belong to a different graph");
+        // Legality edges, counting-sorted by source row.
+        let mut leg_row = vec![0u32; n + 2];
+        for e in g.edge_ids() {
+            leg_row[g.edge(e).src.index() + 1] += 1;
+        }
+        for i in 1..leg_row.len() {
+            leg_row[i] += leg_row[i - 1];
+        }
+        let mut cursor: Vec<u32> = leg_row[..n + 1].to_vec();
+        let mut leg_col = vec![0u32; g.edge_count()];
+        let mut leg_w = vec![0i64; g.edge_count()];
+        for e in g.edge_ids() {
+            let ed = g.edge(e);
+            let slot = cursor[ed.src.index()] as usize;
+            cursor[ed.src.index()] += 1;
+            leg_col[slot] = ed.dst.index() as u32;
+            leg_w[slot] = ed.delay as i64;
+        }
+        // Period edges: the W/D activation order is (D desc, u asc, v asc),
+        // so distributing entries to rows in order leaves every row sorted
+        // by D descending — each period's active set is a row prefix.
+        let act = wd.activation_by_d();
+        let mut per_row = vec![0u32; n + 1];
+        for &(_, u, _) in act {
+            per_row[u as usize + 1] += 1;
+        }
+        for i in 1..per_row.len() {
+            per_row[i] += per_row[i - 1];
+        }
+        let mut cursor: Vec<u32> = per_row[..n].to_vec();
+        let mut per_col = vec![0u32; act.len()];
+        let mut per_w = vec![0i64; act.len()];
+        let mut act_edge = vec![0u32; act.len()];
+        let mut act_src = vec![0u32; act.len()];
+        let mut act_d = vec![0i64; act.len()];
+        for (i, &(d, u, v)) in act.iter().enumerate() {
+            let slot = cursor[u as usize];
+            cursor[u as usize] += 1;
+            per_col[slot as usize] = v;
+            per_w[slot as usize] = wd.w(u as usize, v as usize).expect("reachable pair") - 1;
+            act_edge[i] = slot;
+            act_src[i] = u;
+            act_d[i] = d;
+        }
+        CsrConstraintGraph {
+            n,
+            leg_row,
+            leg_col,
+            leg_w,
+            per_row,
+            per_col,
+            per_w,
+            act_edge,
+            act_src,
+            act_d,
+        }
+    }
+
+    /// Number of retiming variables (graph nodes); the solver additionally
+    /// carries the auxiliary span vertex `n`.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Total period constraints (the activation tail's full length).
+    pub fn period_edge_count(&self) -> usize {
+        self.act_edge.len()
+    }
+
+    /// Length of the activation prefix for period `c` (entries with
+    /// `D > c`).
+    fn prefix_for(&self, c: i64) -> usize {
+        self.act_d.partition_point(|&d| d > c)
+    }
+}
+
+/// Reusable solver state: distance labels, SPFA queue, in-queue bitmap,
+/// walk lengths, per-row activation counters, and the warm-start
+/// snapshots. One scratch serves any number of solves (and, via
+/// [`RetimeSolver::into_scratch`], any number of graphs) without
+/// reallocating once grown.
+#[derive(Debug, Default, Clone)]
+pub struct SolverScratch {
+    dist: Vec<i64>,
+    walk: Vec<u32>,
+    inq: Vec<u64>,
+    queue: VecDeque<u32>,
+    active: Vec<u32>,
+    feas: Vec<i64>,
+    span_feas: Vec<i64>,
+}
+
+impl SolverScratch {
+    /// A fresh, empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size every buffer for `nv` variables and zero the per-graph state.
+    fn reset(&mut self, nv: usize) {
+        self.dist.clear();
+        self.dist.resize(nv, 0);
+        self.walk.clear();
+        self.walk.resize(nv, 0);
+        self.inq.clear();
+        self.inq.resize(nv.div_ceil(64), 0);
+        self.queue.clear();
+        self.active.clear();
+        self.active.resize(nv, 0);
+        self.feas.clear();
+        self.feas.resize(nv, 0);
+        self.span_feas.clear();
+        self.span_feas.resize(nv, 0);
+    }
+
+    #[inline]
+    fn inq_test_set(&mut self, v: usize) -> bool {
+        let (word, bit) = (v / 64, 1u64 << (v % 64));
+        let was = self.inq[word] & bit != 0;
+        self.inq[word] |= bit;
+        was
+    }
+
+    #[inline]
+    fn inq_clear(&mut self, v: usize) {
+        self.inq[v / 64] &= !(1u64 << (v % 64));
+    }
+}
+
+/// Incremental retiming solver over one `(graph, W/D)` pair.
+///
+/// Drives the whole period search and span minimization through warm
+/// starts: the first probe pays one queue-based SPFA from the legality
+/// fixpoint (all zeros — legal because edge delays are non-negative), and
+/// every tightened probe restarts from the last feasible fixpoint with only
+/// the newly activated constraints seeded. Produces results bit-identical
+/// to the [`crate::ConstraintSystem`] reference path.
+#[derive(Debug)]
+pub struct RetimeSolver<'a> {
+    g: &'a Dfg,
+    wd: &'a WdMatrices,
+    csr: CsrConstraintGraph,
+    s: SolverScratch,
+    /// `s.feas` is the exact fixpoint of the period-`feas_c` system.
+    feas_c: i64,
+    /// `s.span_feas` is the fixpoint of `(feas_c, span_feas_s)`;
+    /// `NO_SPAN` when no span snapshot is valid.
+    span_feas_s: i64,
+    /// Currently materialized activation prefix (rows' `active` counters).
+    act_prefix: usize,
+}
+
+impl<'a> RetimeSolver<'a> {
+    /// Build a solver for `g`, allocating a fresh scratch arena.
+    pub fn new(g: &'a Dfg, wd: &'a WdMatrices) -> Self {
+        Self::with_scratch(g, wd, SolverScratch::new())
+    }
+
+    /// Build a solver reusing `scratch` from a previous solver (e.g. the
+    /// previous unfolding factor of a sweep); buffers are resized, never
+    /// shrunk, so steady-state solves allocate nothing.
+    pub fn with_scratch(g: &'a Dfg, wd: &'a WdMatrices, mut scratch: SolverScratch) -> Self {
+        let csr = CsrConstraintGraph::build(g, wd);
+        scratch.reset(csr.n + 1);
+        RetimeSolver {
+            g,
+            wd,
+            csr,
+            s: scratch,
+            // The all-zero vector is the exact fixpoint of the legality-only
+            // system (every edge delay is >= 0), i.e. of period "infinity".
+            feas_c: NO_PERIOD,
+            span_feas_s: NO_SPAN,
+            act_prefix: 0,
+        }
+    }
+
+    /// Recover the scratch arena for reuse by the next solver.
+    pub fn into_scratch(self) -> SolverScratch {
+        self.s
+    }
+
+    /// Move the materialized activation prefix (and the per-row active
+    /// counters) to `target`. Within each row the global activation order
+    /// restricted to that row *is* the row order, so counters track exact
+    /// row prefixes in both directions.
+    fn materialize(&mut self, target: usize) {
+        while self.act_prefix < target {
+            self.s.active[self.csr.act_src[self.act_prefix] as usize] += 1;
+            self.act_prefix += 1;
+        }
+        while self.act_prefix > target {
+            self.act_prefix -= 1;
+            self.s.active[self.csr.act_src[self.act_prefix] as usize] -= 1;
+        }
+    }
+
+    /// SPFA from the seeded queue. `span`: when `Some(s)`, the auxiliary
+    /// vertex `n` is live with implicit edges `u -> n` (weight `s`) and
+    /// `n -> u` (weight `0`). Returns `false` on a negative cycle.
+    fn run(&mut self, span: Option<i64>) -> bool {
+        let n = self.csr.n;
+        let limit = (n + 1) as u32;
+        while let Some(u) = self.s.queue.pop_front() {
+            let u = u as usize;
+            self.s.inq_clear(u);
+            let du = self.s.dist[u];
+            let wu = self.s.walk[u];
+            macro_rules! relax {
+                ($v:expr, $w:expr) => {{
+                    let v = $v as usize;
+                    let cand = du + $w;
+                    if cand < self.s.dist[v] {
+                        self.s.dist[v] = cand;
+                        let wl = wu + 1;
+                        self.s.walk[v] = wl;
+                        if wl >= limit {
+                            return false; // walk revisits a vertex: negative cycle
+                        }
+                        if !self.s.inq_test_set(v) {
+                            // Smallest-label-first: likely-final labels are
+                            // processed sooner, cutting re-relaxations.
+                            match self.s.queue.front() {
+                                Some(&f) if cand < self.s.dist[f as usize] => {
+                                    self.s.queue.push_front(v as u32)
+                                }
+                                _ => self.s.queue.push_back(v as u32),
+                            }
+                        }
+                    }
+                }};
+            }
+            if u < n {
+                for i in self.csr.leg_row[u] as usize..self.csr.leg_row[u + 1] as usize {
+                    relax!(self.csr.leg_col[i], self.csr.leg_w[i]);
+                }
+                let row = self.csr.per_row[u] as usize;
+                for i in row..row + self.s.active[u] as usize {
+                    relax!(self.csr.per_col[i], self.csr.per_w[i]);
+                }
+                if let Some(s) = span {
+                    relax!(n, s);
+                }
+            } else if span.is_some() {
+                for v in 0..n {
+                    relax!(v, 0i64);
+                }
+            }
+        }
+        true
+    }
+
+    /// Seed the queue by relaxing one explicit edge `u -> v` of weight `w`.
+    /// Returns `false` if the walk-length bound certifies a negative cycle.
+    fn seed_edge(&mut self, u: usize, v: usize, w: i64) -> bool {
+        let limit = (self.csr.n + 1) as u32;
+        let cand = self.s.dist[u] + w;
+        if cand < self.s.dist[v] {
+            self.s.dist[v] = cand;
+            let wl = self.s.walk[u] + 1;
+            self.s.walk[v] = wl;
+            if wl >= limit {
+                return false;
+            }
+            if !self.s.inq_test_set(v) {
+                self.s.queue.push_back(v as u32);
+            }
+        }
+        true
+    }
+
+    /// Clear per-solve state (walk lengths, queue, bitmap).
+    fn begin_solve(&mut self) {
+        self.s.walk.fill(0);
+        self.s.queue.clear();
+        self.s.inq.fill(0);
+    }
+
+    /// Solve the period-`c` feasibility system, leaving the fixpoint in
+    /// `s.dist` (and snapshotting it as the new warm-start state) when
+    /// feasible.
+    fn solve_period_raw(&mut self, c: i64) -> bool {
+        self.span_feas_s = NO_SPAN; // span snapshots are per-period
+        if c == self.feas_c {
+            // Same system as the snapshot: the fixpoint is already known.
+            self.s.dist.copy_from_slice(&self.s.feas);
+            self.materialize(self.csr.prefix_for(c));
+            return true;
+        }
+        self.begin_solve();
+        // Warm start from the tightest feasible snapshot that is still an
+        // upper bound of the target fixpoint: the nested-superset structure
+        // makes any feasible solution for a *larger* period valid. For a
+        // looser-than-snapshot period, fall back to the legality fixpoint
+        // (all zeros) so the result stays the canonical maximal solution.
+        let warm_c = if c <= self.feas_c {
+            self.feas_c
+        } else {
+            NO_PERIOD
+        };
+        if warm_c == NO_PERIOD {
+            self.s.dist.fill(0);
+        } else {
+            self.s.dist.copy_from_slice(&self.s.feas);
+        }
+        let from = if warm_c == NO_PERIOD {
+            0
+        } else {
+            self.csr.prefix_for(warm_c)
+        };
+        let target = self.csr.prefix_for(c);
+        self.materialize(target);
+        // Seed only the newly activated constraints; everything already
+        // active is quiescent under the warm-start vector.
+        for i in from..target {
+            let e = self.csr.act_edge[i] as usize;
+            let u = self.csr.act_src[i] as usize;
+            let v = self.csr.per_col[e] as usize;
+            let w = self.csr.per_w[e];
+            if !self.seed_edge(u, v, w) {
+                return false;
+            }
+        }
+        if !self.run(None) {
+            return false;
+        }
+        self.s.feas.copy_from_slice(&self.s.dist);
+        self.feas_c = c;
+        true
+    }
+
+    /// A normalized legal retiming achieving period `<= c`, or `None`.
+    /// Bit-identical to [`crate::minperiod::retime_to_period_reference`].
+    pub fn retime_to_period(&mut self, c: u64) -> Option<Retiming> {
+        if !self.solve_period_raw(c as i64) {
+            return None;
+        }
+        let mut r = Retiming::from_values(self.s.dist[..self.csr.n].to_vec());
+        r.normalize();
+        debug_assert!(r.is_legal(self.g));
+        debug_assert!(cred_dfg::algo::cycle_period(&r.apply(self.g)) <= Some(c));
+        Some(r)
+    }
+
+    /// Minimum achievable cycle period and a retiming realizing it, by the
+    /// same binary search over `D` candidates as the reference OPT — every
+    /// tightening probe is warm-started. Bit-identical to
+    /// [`crate::minperiod::min_period_retiming_reference`].
+    ///
+    /// # Panics
+    /// Panics on an empty or malformed graph.
+    pub fn min_period(&mut self) -> MinPeriodResult {
+        self.g
+            .validate()
+            .expect("min_period_retiming requires a well-formed DFG");
+        let cands = self.wd.candidate_periods();
+        assert!(!cands.is_empty());
+        let mut lo = 0usize;
+        let mut hi = cands.len() - 1;
+        let mut best = None;
+        while lo <= hi {
+            let mid = lo + (hi - lo) / 2;
+            if let Some(r) = self.retime_to_period(cands[mid] as u64) {
+                best = Some((r, cands[mid] as u64));
+                if mid == 0 {
+                    break;
+                }
+                hi = mid - 1;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let (retiming, period) = best.expect("at least the maximum candidate is feasible");
+        MinPeriodResult { retiming, period }
+    }
+
+    /// Among retimings achieving period `<= c`, one of minimum span, given
+    /// `base` = the solver's normalized solution of the plain period-`c`
+    /// system (what [`Self::retime_to_period`] returns). Binary-searches
+    /// the span through the auxiliary-vertex encoding, warm-starting every
+    /// probe from the last feasible one. Bit-identical to
+    /// [`crate::span::min_span_retiming_reference`].
+    pub fn min_span_from_base(&mut self, c: u64, base: &Retiming) -> Retiming {
+        let c = c as i64;
+        let n = self.csr.n;
+        assert_eq!(base.len(), n, "base retiming size mismatch");
+        if self.feas_c != c {
+            // Reconstruct the raw fixpoint from the normalized base: the
+            // maximal solution always has max = 0 (some node keeps its
+            // virtual-source distance), so it is `base - max(base)`.
+            let shift = base.max_value();
+            for (slot, &b) in self.s.feas.iter_mut().zip(base.values()) {
+                *slot = b - shift;
+            }
+            self.s.feas[n] = 0;
+            self.feas_c = c;
+        }
+        self.materialize(self.csr.prefix_for(c));
+        // The period fixpoint extended with z = 0 is quiescent for
+        // s = span(base): z's tightest in-edge is min(r) + span = max(r) = 0.
+        self.s.span_feas.copy_from_slice(&self.s.feas);
+        self.s.span_feas[n] = 0;
+        self.span_feas_s = base.span();
+        let mut lo = 0i64;
+        let mut hi = base.span();
+        let mut best = base.clone();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if let Some(r) = self.solve_span_probe(mid) {
+                best = r;
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        debug_assert!(best.is_legal(self.g));
+        best
+    }
+
+    /// Minimum-span retiming at period `<= c`, or `None` if infeasible.
+    pub fn min_span(&mut self, c: u64) -> Option<Retiming> {
+        let base = self.retime_to_period(c)?;
+        Some(self.min_span_from_base(c, &base))
+    }
+
+    /// One span probe at bound `s`, warm-started from the last feasible
+    /// span snapshot (always valid: the binary search only probes below
+    /// its feasible `hi`).
+    fn solve_span_probe(&mut self, s: i64) -> Option<Retiming> {
+        debug_assert!(self.span_feas_s != NO_SPAN && s <= self.span_feas_s);
+        let n = self.csr.n;
+        self.begin_solve();
+        self.s.dist.copy_from_slice(&self.s.span_feas);
+        // Only the `u -> z` edges changed weight (tightened to `s`); the
+        // `z -> u` edges are weight-0 and quiescent until `z` drops.
+        for u in 0..n {
+            if !self.seed_edge(u, n, s) {
+                return None;
+            }
+        }
+        if !self.run(Some(s)) {
+            return None;
+        }
+        self.s.span_feas.copy_from_slice(&self.s.dist);
+        self.span_feas_s = s;
+        let mut r = Retiming::from_values(self.s.dist[..n].to_vec());
+        r.normalize();
+        debug_assert!(r.span() <= s);
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minperiod::{
+        constraints_for_period, min_period_retiming_reference, retime_to_period_reference,
+    };
+    use cred_dfg::gen;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn random(seed: u64, nodes: usize) -> Dfg {
+        gen::random_dfg(
+            &mut StdRng::seed_from_u64(seed),
+            &gen::RandomDfgConfig {
+                nodes,
+                max_delay: 3,
+                max_time: 4,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn csr_counts_match_dense_system() {
+        for seed in 0..10 {
+            let g = random(seed, 9);
+            let wd = WdMatrices::compute(&g);
+            let csr = CsrConstraintGraph::build(&g, &wd);
+            // Activating everything must reproduce the c = -1 system's
+            // period-constraint count (before dedup: one per reachable
+            // pair).
+            let pairs = wd.activation_by_d().len();
+            assert_eq!(csr.period_edge_count(), pairs);
+            assert_eq!(csr.num_vars(), g.node_count());
+        }
+    }
+
+    #[test]
+    fn activation_prefix_matches_filter() {
+        let g = random(3, 8);
+        let wd = WdMatrices::compute(&g);
+        let csr = CsrConstraintGraph::build(&g, &wd);
+        for c in wd.candidate_periods() {
+            let expect = wd
+                .activation_by_d()
+                .iter()
+                .filter(|&&(d, _, _)| d > c)
+                .count();
+            assert_eq!(csr.prefix_for(c), expect);
+        }
+    }
+
+    #[test]
+    fn fixed_period_matches_reference_on_random_graphs() {
+        for seed in 0..30 {
+            let g = random(seed, 8);
+            let wd = WdMatrices::compute(&g);
+            let mut solver = RetimeSolver::new(&g, &wd);
+            let cands = wd.candidate_periods();
+            // Descending sweep (the warm path), then a loose re-probe.
+            for &c in cands.iter().rev() {
+                let fast = solver.retime_to_period(c as u64);
+                let slow = retime_to_period_reference(&g, &wd, c as u64);
+                assert_eq!(fast, slow, "seed {seed} period {c}");
+            }
+            let c = *cands.last().unwrap();
+            assert_eq!(
+                solver.retime_to_period(c as u64),
+                retime_to_period_reference(&g, &wd, c as u64),
+                "loosening back to {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_period_matches_reference() {
+        for seed in 0..25 {
+            let g = random(seed + 100, 9);
+            let wd = WdMatrices::compute(&g);
+            let fast = RetimeSolver::new(&g, &wd).min_period();
+            let slow = min_period_retiming_reference(&g, &wd);
+            assert_eq!(fast.period, slow.period, "seed {seed}");
+            assert_eq!(fast.retiming, slow.retiming, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn infeasible_below_bound() {
+        let g = gen::chain_with_feedback(6, 2); // bound 3
+        let wd = WdMatrices::compute(&g);
+        let mut solver = RetimeSolver::new(&g, &wd);
+        assert!(solver.retime_to_period(2).is_none());
+        assert!(solver.retime_to_period(3).is_some());
+        // Warm state survives an infeasible probe.
+        assert!(solver.retime_to_period(2).is_none());
+        assert!(solver.retime_to_period(4).is_some());
+    }
+
+    #[test]
+    fn span_search_matches_reference_dense_probes() {
+        use crate::span::min_span_retiming_reference;
+        for seed in 0..20 {
+            let g = random(seed + 40, 8);
+            let wd = WdMatrices::compute(&g);
+            let mut solver = RetimeSolver::new(&g, &wd);
+            let opt = solver.min_period();
+            for c in [opt.period, opt.period + 1] {
+                let fast = solver.min_span(c).unwrap();
+                let slow = min_span_retiming_reference(&g, &wd, c).unwrap();
+                assert_eq!(fast, slow, "seed {seed} period {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_graphs_is_clean() {
+        let mut scratch = SolverScratch::new();
+        for seed in 0..12 {
+            let g = random(seed, 4 + (seed as usize % 7));
+            let wd = WdMatrices::compute(&g);
+            let mut solver = RetimeSolver::with_scratch(&g, &wd, scratch);
+            let fast = solver.min_period();
+            let slow = min_period_retiming_reference(&g, &wd);
+            assert_eq!(fast.retiming, slow.retiming, "seed {seed}");
+            scratch = solver.into_scratch();
+        }
+    }
+
+    #[test]
+    fn solutions_satisfy_the_dense_system() {
+        for seed in 0..10 {
+            let g = random(seed + 7, 8);
+            let wd = WdMatrices::compute(&g);
+            let mut solver = RetimeSolver::new(&g, &wd);
+            let opt = solver.min_period();
+            let sys = constraints_for_period(&g, &wd, opt.period as i64);
+            // The raw fixpoint (pre-normalization snapshot) satisfies every
+            // constraint of the dense reference system.
+            assert!(sys.satisfied_by(&solver.s.feas[..g.node_count()]));
+        }
+    }
+}

@@ -24,7 +24,11 @@
 //! * [`Retiming`] — a retiming function with legality checking,
 //!   normalization, application, and the prologue/epilogue bookkeeping the
 //!   code-size theorems rest on;
-//! * [`constraints`] — a difference-constraint solver (Bellman–Ford);
+//! * [`constraints`] — the reference difference-constraint solver
+//!   (edge-list Bellman–Ford), kept as the differential-testing oracle;
+//! * [`incremental`] — the production solver: CSR constraint graph with a
+//!   period-activation prefix, queue-based SPFA, and warm starts across
+//!   the period/span binary searches (bit-identical to the reference);
 //! * [`minperiod`] — the OPT algorithm (binary search over W/D candidate
 //!   periods) plus fixed-period retiming;
 //! * [`feas`] — the FEAS algorithm, an independent oracle for achievable
@@ -36,12 +40,14 @@
 
 pub mod constraints;
 pub mod feas;
+pub mod incremental;
 pub mod minperiod;
 pub mod registers;
 mod retiming;
 pub mod span;
 
 pub use constraints::ConstraintSystem;
+pub use incremental::{CsrConstraintGraph, RetimeSolver, SolverScratch};
 pub use minperiod::{
     min_period_retiming, min_period_retiming_with, retime_to_period, retime_to_period_with,
     MinPeriodResult,

@@ -60,8 +60,18 @@ pub fn retime_to_period(g: &Dfg, c: u64) -> Option<Retiming> {
 }
 
 /// [`retime_to_period`] with a precomputed W/D matrix (for callers sweeping
-/// many periods).
+/// many periods). Runs the incremental SPFA solver
+/// ([`crate::RetimeSolver`]); callers probing many periods on one graph
+/// should hold a solver directly to keep its warm state across probes.
 pub fn retime_to_period_with(g: &Dfg, wd: &WdMatrices, c: u64) -> Option<Retiming> {
+    crate::RetimeSolver::new(g, wd).retime_to_period(c)
+}
+
+/// The dense reference path of [`retime_to_period_with`]: build the full
+/// [`ConstraintSystem`] and solve it with edge-list Bellman–Ford. Kept as
+/// the differential-testing oracle for the incremental solver; results are
+/// bit-identical.
+pub fn retime_to_period_reference(g: &Dfg, wd: &WdMatrices, c: u64) -> Option<Retiming> {
     let sys = constraints_for_period(g, wd, c as i64);
     let sol = sys.solve()?;
     let mut r = Retiming::from_values(sol);
@@ -85,8 +95,16 @@ pub fn min_period_retiming(g: &Dfg) -> MinPeriodResult {
 /// run several retiming passes over the same graph (the exploration
 /// engine's memoized path computes the matrix once per unfolded graph and
 /// shares it between the period search, span minimization, and register
-/// compaction).
+/// compaction). The binary search runs on the warm-started incremental
+/// solver, so each tightening probe reuses the previous feasible solution.
 pub fn min_period_retiming_with(g: &Dfg, wd: &WdMatrices) -> MinPeriodResult {
+    crate::RetimeSolver::new(g, wd).min_period()
+}
+
+/// The dense reference path of [`min_period_retiming_with`]: every probe
+/// rebuilds the full constraint system and solves from scratch. Kept as
+/// the differential-testing oracle; bit-identical to the incremental path.
+pub fn min_period_retiming_reference(g: &Dfg, wd: &WdMatrices) -> MinPeriodResult {
     g.validate()
         .expect("min_period_retiming requires a well-formed DFG");
     let cands = wd.candidate_periods();
@@ -95,13 +113,13 @@ pub fn min_period_retiming_with(g: &Dfg, wd: &WdMatrices) -> MinPeriodResult {
     let mut lo = 0usize; // lowest untested index
     let mut hi = cands.len() - 1; // known feasible? the max D is always feasible
     debug_assert!(
-        retime_to_period_with(g, wd, cands[hi] as u64).is_some(),
+        retime_to_period_reference(g, wd, cands[hi] as u64).is_some(),
         "the maximum D entry must always be feasible (zero retiming)"
     );
     let mut best = None;
     while lo <= hi {
         let mid = lo + (hi - lo) / 2;
-        if let Some(r) = retime_to_period_with(g, wd, cands[mid] as u64) {
+        if let Some(r) = retime_to_period_reference(g, wd, cands[mid] as u64) {
             best = Some((r, cands[mid] as u64));
             if mid == 0 {
                 break;
@@ -257,6 +275,27 @@ mod tests {
             let memo = min_period_retiming_with(&g, &wd);
             assert_eq!(fresh.period, memo.period);
             assert_eq!(fresh.retiming, memo.retiming);
+        }
+    }
+
+    #[test]
+    fn incremental_path_matches_reference_oracle() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..15 {
+            let g = gen::random_dfg(
+                &mut rng,
+                &gen::RandomDfgConfig {
+                    nodes: 8,
+                    max_delay: 3,
+                    ..Default::default()
+                },
+            );
+            let wd = WdMatrices::compute(&g);
+            let fast = min_period_retiming_with(&g, &wd);
+            let slow = min_period_retiming_reference(&g, &wd);
+            assert_eq!(fast.period, slow.period);
+            assert_eq!(fast.retiming, slow.retiming);
         }
     }
 

@@ -17,8 +17,8 @@
 //! returned (flagged in [`RegisterSearch::exact`]).
 
 use crate::minperiod::constraints_for_period;
-use crate::span::{compact_values_with, min_span_retiming};
-use crate::{ConstraintSystem, Retiming};
+use crate::span::compact_values_with;
+use crate::{ConstraintSystem, RetimeSolver, Retiming};
 use cred_dfg::algo::WdMatrices;
 use cred_dfg::Dfg;
 
@@ -151,9 +151,10 @@ fn subsets_with_zero(max: i64, k: usize) -> Vec<Vec<i64>> {
 /// span-minimized + compacted retiming is returned with `exact: false`).
 pub fn min_registers_retiming(g: &Dfg, c: u64, budget: u64) -> Option<RegisterSearch> {
     let wd = WdMatrices::compute(g);
+    // One incremental solver drives both the feasibility check and the
+    // span search; the dense system is only built for the CSP itself.
+    let base = RetimeSolver::new(g, &wd).min_span(c)?;
     let sys = constraints_for_period(g, &wd, c as i64);
-    // The greedy baseline (also our fallback).
-    let base = min_span_retiming(g, c)?;
     let greedy = compact_values_with(&sys, &base);
     let span = base.span();
     let mut expanded_total = 0u64;

@@ -9,7 +9,7 @@
 //!   `|N_r|`, the number of conditional registers CRED needs (Theorem 4.3),
 //!   without breaking legality or the period.
 
-use crate::minperiod::{add_period_constraints, constraints_for_period};
+use crate::minperiod::constraints_for_period;
 use crate::{ConstraintSystem, Retiming};
 use cred_dfg::algo::WdMatrices;
 use cred_dfg::Dfg;
@@ -17,9 +17,10 @@ use cred_dfg::Dfg;
 /// Find a retiming achieving cycle period `<= c` with the *minimum possible
 /// span* `max r - min r`, or `None` if `c` is infeasible.
 ///
-/// Implemented as a binary search on the span `s`, adding the `O(V^2)`
-/// constraints `r(u) - r(v) <= s` to the period-feasibility system; each
-/// probe is one Bellman–Ford solve, so the result is exact, not heuristic.
+/// Implemented as a binary search on the span `s`: each probe adds the
+/// span bound to the period-feasibility system and re-solves, so the
+/// result is exact, not heuristic. Runs on the warm-started incremental
+/// solver ([`crate::RetimeSolver`]).
 pub fn min_span_retiming(g: &Dfg, c: u64) -> Option<Retiming> {
     let wd = WdMatrices::compute(g);
     min_span_retiming_with(g, &wd, c)
@@ -28,6 +29,14 @@ pub fn min_span_retiming(g: &Dfg, c: u64) -> Option<Retiming> {
 /// [`min_span_retiming`] with a precomputed W/D matrix, so callers running
 /// several retiming passes over the same graph pay for Floyd–Warshall once.
 pub fn min_span_retiming_with(g: &Dfg, wd: &WdMatrices, c: u64) -> Option<Retiming> {
+    crate::RetimeSolver::new(g, wd).min_span(c)
+}
+
+/// The dense reference path of [`min_span_retiming_with`]: every span
+/// probe materializes the full `O(V^2)` pairwise constraints
+/// `r(u) - r(v) <= s` and solves from scratch with Bellman–Ford. Kept as
+/// the differential-testing oracle; bit-identical to the incremental path.
+pub fn min_span_retiming_reference(g: &Dfg, wd: &WdMatrices, c: u64) -> Option<Retiming> {
     let base = constraints_for_period(g, wd, c as i64);
     let base_sol = base.solve()?;
     let mut base_r = Retiming::from_values(base_sol);
@@ -69,55 +78,20 @@ fn solve_with_span(g: &Dfg, wd: &WdMatrices, c: i64, span: i64) -> Option<Retimi
 /// Engine-path variant of [`min_span_retiming_with`]: identical results,
 /// cheaper probes (used by the exploration engine's memoized plans).
 ///
-/// Two redundancies of the reference path are removed:
-///
-/// * `base` must be the solver's (normalized) solution of the plain
-///   period-`c` system — exactly what [`crate::retime_to_period_with`]
-///   returns for the same `(g, wd, c)` — so the base solve is skipped; the
-///   caller's final feasibility probe already produced it.
-/// * Each span probe encodes the all-pairs constraints
-///   `r(u) - r(v) <= s` through one auxiliary variable `z` with
-///   `r(u) - z <= 0` and `z - r(v) <= s` (`2|V|` edges instead of
-///   `|V|^2`). Compositions of the two aux edges reproduce every dense
-///   span edge and vice versa, and the extension `z = max r` shows both
-///   systems bound the real variables identically, so the solver's
-///   pointwise-maximal solution restricted to the real nodes — and hence
-///   the returned retiming — is the same, bit for bit.
+/// `base` must be the solver's (normalized) solution of the plain
+/// period-`c` system — exactly what [`crate::retime_to_period_with`]
+/// returns for the same `(g, wd, c)` — so the base solve is skipped; the
+/// span search reconstructs the raw fixpoint from `base` and warm-starts
+/// every probe from it. Each probe encodes the all-pairs constraints
+/// `r(u) - r(v) <= s` through one auxiliary variable `z` with
+/// `r(u) - z <= 0` and `z - r(v) <= s` (`2|V|` edges instead of `|V|^2`).
+/// Compositions of the two aux edges reproduce every dense span edge and
+/// vice versa, and the extension `z = max r` shows both systems bound the
+/// real variables identically, so the solver's pointwise-maximal solution
+/// restricted to the real nodes — and hence the returned retiming — is
+/// the same, bit for bit (see `from_base_variant_is_bit_identical`).
 pub fn min_span_retiming_from_base(g: &Dfg, wd: &WdMatrices, c: u64, base: &Retiming) -> Retiming {
-    let mut lo = 0i64;
-    let mut hi = base.span();
-    let mut best = base.clone();
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        match solve_with_span_aux(g, wd, c as i64, mid) {
-            Some(r) => {
-                best = r;
-                hi = mid;
-            }
-            None => lo = mid + 1,
-        }
-    }
-    debug_assert!(best.is_legal(g));
-    best
-}
-
-/// [`solve_with_span`] through the auxiliary-variable encoding; returns
-/// the identical retiming (see [`min_span_retiming_from_base`]).
-fn solve_with_span_aux(g: &Dfg, wd: &WdMatrices, c: i64, span: i64) -> Option<Retiming> {
-    let n = g.node_count();
-    let z = n; // auxiliary variable: max of all retiming values
-    let mut sys = ConstraintSystem::new(n + 1);
-    add_period_constraints(&mut sys, g, wd, c);
-    for u in 0..n {
-        sys.add(u, z, 0);
-        sys.add(z, u, span);
-    }
-    let mut sol = sys.solve()?;
-    sol.truncate(n);
-    let mut r = Retiming::from_values(sol);
-    r.normalize();
-    debug_assert!(r.span() <= span);
-    Some(r)
+    crate::RetimeSolver::new(g, wd).min_span_from_base(c, base)
 }
 
 /// Greedily reduce the number of distinct retiming values of `r` while
@@ -245,12 +219,14 @@ mod tests {
             );
             let wd = WdMatrices::compute(&g);
             let opt = min_period_retiming(&g);
-            // Probe both the optimal period and a relaxed one.
+            // Probe both the optimal period and a relaxed one, pitting the
+            // incremental aux-variable path against the dense oracle.
             for c in [opt.period, opt.period + 1] {
-                let reference = min_span_retiming_with(&g, &wd, c).unwrap();
+                let reference = min_span_retiming_reference(&g, &wd, c).unwrap();
                 let base = retime_to_period_with(&g, &wd, c).unwrap();
                 let fast = min_span_retiming_from_base(&g, &wd, c, &base);
                 assert_eq!(reference, fast, "period {c}");
+                assert_eq!(reference, min_span_retiming_with(&g, &wd, c).unwrap());
             }
         }
     }

@@ -1,9 +1,11 @@
 //! Property tests for the retiming engine.
 
+use cred_dfg::algo::WdMatrices;
 use cred_dfg::{algo, gen, Dfg, Ratio};
 use cred_retime::feas::feas;
-use cred_retime::span::{compact_values, min_span_retiming};
-use cred_retime::{min_period_retiming, retime_to_period, Retiming};
+use cred_retime::minperiod::{min_period_retiming_reference, retime_to_period_reference};
+use cred_retime::span::{compact_values, min_span_retiming, min_span_retiming_reference};
+use cred_retime::{min_period_retiming, retime_to_period, RetimeSolver, Retiming};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -113,6 +115,58 @@ proptest! {
         prop_assert!(c.register_count() <= opt.retiming.register_count());
         prop_assert!(c.is_legal(&g));
         prop_assert!(algo::cycle_period(&c.apply(&g)).unwrap() <= opt.period);
+    }
+
+    #[test]
+    fn incremental_min_period_is_bit_identical_to_reference(
+        seed in any::<u64>(), nodes in 2..12usize
+    ) {
+        // The warm-started SPFA solver must reproduce the dense
+        // Bellman–Ford oracle exactly: same period, same retiming values.
+        let g = graph_from(seed, nodes);
+        let wd = WdMatrices::compute(&g);
+        let fast = RetimeSolver::new(&g, &wd).min_period();
+        let slow = min_period_retiming_reference(&g, &wd);
+        prop_assert_eq!(fast.period, slow.period);
+        prop_assert_eq!(fast.retiming, slow.retiming);
+    }
+
+    #[test]
+    fn incremental_fixed_period_probes_are_bit_identical(
+        seed in any::<u64>(), nodes in 2..10usize
+    ) {
+        // Sweep every candidate period tightening (the warm path), then
+        // loosen back: each probe must match the cold reference solve.
+        let g = graph_from(seed, nodes);
+        let wd = WdMatrices::compute(&g);
+        let mut solver = RetimeSolver::new(&g, &wd);
+        let cands = wd.candidate_periods();
+        for &c in cands.iter().rev() {
+            let fast = solver.retime_to_period(c as u64);
+            let slow = retime_to_period_reference(&g, &wd, c as u64);
+            prop_assert_eq!(fast, slow, "period {}", c);
+        }
+        let c = cands[cands.len() - 1];
+        prop_assert_eq!(
+            solver.retime_to_period(c as u64),
+            retime_to_period_reference(&g, &wd, c as u64),
+            "re-loosened period {}", c
+        );
+    }
+
+    #[test]
+    fn incremental_min_span_is_bit_identical_to_reference(
+        seed in any::<u64>(), nodes in 2..10usize
+    ) {
+        let g = graph_from(seed, nodes);
+        let wd = WdMatrices::compute(&g);
+        let mut solver = RetimeSolver::new(&g, &wd);
+        let opt = solver.min_period();
+        for c in [opt.period, opt.period + 2] {
+            let fast = solver.min_span(c).unwrap();
+            let slow = min_span_retiming_reference(&g, &wd, c).unwrap();
+            prop_assert_eq!(fast, slow, "period {}", c);
+        }
     }
 
     #[test]

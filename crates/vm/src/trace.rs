@@ -172,6 +172,51 @@ mod tests {
     }
 
     #[test]
+    fn traced_counts_match_static_schedule_lengths() {
+        // Retiming stretches the loop by M_r guard-disabled iterations but
+        // never changes the per-iteration schedule: the traced instruction
+        // counts of the original (zero-retimed) and retimed programs must
+        // both equal (static body length) x (loop trip count), and exactly
+        // n copies of every node execute in each.
+        let (g, r) = figure3();
+        let n = 10u64;
+        let nv = g.node_count() as u64;
+        let zero = Retiming::from_values(vec![0; g.node_count()]);
+        let orig = cred_pipelined(&g, &zero, n);
+        let retimed = cred_pipelined(&g, &r, n);
+        let body_len = |p: &LoopProgram| {
+            p.body
+                .as_ref()
+                .unwrap()
+                .body
+                .iter()
+                .filter(|i| matches!(i, Inst::Compute { .. }))
+                .count() as u64
+        };
+        let trip_count = |p: &LoopProgram| {
+            let l = p.body.as_ref().unwrap();
+            ((l.hi - l.lo) / l.step + 1) as u64
+        };
+        assert_eq!(body_len(&orig), nv);
+        assert_eq!(body_len(&retimed), nv);
+        assert_eq!(trip_count(&orig), n);
+        assert_eq!(trip_count(&retimed), n + r.max_value() as u64);
+        for p in [&orig, &retimed] {
+            let ev = trace_loop(p);
+            assert_eq!(ev.len() as u64, body_len(p) * trip_count(p));
+            let mut enabled: BTreeMap<String, u64> = BTreeMap::new();
+            for e in &ev {
+                if e.enabled {
+                    let name = e.dest.split('[').next().unwrap().to_string();
+                    *enabled.entry(name).or_insert(0) += 1;
+                }
+            }
+            assert_eq!(enabled.len() as u64, nv);
+            assert!(enabled.values().all(|&c| c == n));
+        }
+    }
+
+    #[test]
     fn total_enabled_counts_match_n_per_node() {
         let (g, r) = figure3();
         let n = 10u64;
