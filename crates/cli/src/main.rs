@@ -5,6 +5,7 @@
 //! credc reduce   <file.loop> [options]            generate + verify + print
 //! credc explore  <file.loop|dir> [options]        design-space exploration
 //! credc schedule <file.loop> [--alu N] [--mul N]  rotation scheduling
+//! credc verify   [options]                        differential fuzzing
 //! ```
 //!
 //! Options for `reduce`:
@@ -18,6 +19,12 @@
 //!   --max-unfold F  largest factor to consider (default 4)
 //!   --parallel T    worker threads for the memoized sweep (default 1)
 //!   --json          emit the machine-readable suite report instead of tables
+//! Options for `verify` (see `cred-verify`; exit code 1 on any mismatch):
+//!   --cases N       random cases to draw (default 200)
+//!   --seed S        seed of the deterministic case stream (default 0)
+//!   --shrink        minimize each failure before reporting it
+//!   --corpus DIR    replay DIR/*.case first; with --shrink, save new
+//!                   shrunk failures there
 
 use cred_codegen::pretty::render;
 use cred_codegen::DecMode;
@@ -41,7 +48,7 @@ impl Args {
         let mut it = raw.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = if matches!(name, "print" | "json") {
+                let value = if matches!(name, "print" | "json" | "shrink") {
                     None
                 } else {
                     Some(
@@ -272,11 +279,78 @@ fn cmd_schedule(g: &Dfg, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `credc verify`: replay the committed corpus, then fuzz the full
+/// transformation pipeline against the VM and the closed-form size
+/// theorems. Any mismatch is a nonzero exit.
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let cases = args.get_u64("cases", 200)? as usize;
+    let seed = args.get_u64("seed", 0)?;
+    let corpus_dir = args.get("corpus").map(std::path::PathBuf::from);
+
+    let mut failures = 0usize;
+    if let Some(dir) = &corpus_dir {
+        if !dir.is_dir() {
+            return Err(format!("--corpus: {} is not a directory", dir.display()));
+        }
+        let corpus = cred_verify::corpus::load_dir(dir)?;
+        for case in &corpus {
+            if let Err(e) = cred_verify::verify_case(case) {
+                eprintln!("corpus {case}\n  {e}");
+                failures += 1;
+            }
+        }
+        println!(
+            "corpus: {} case(s) replayed, {} failure(s)",
+            corpus.len(),
+            failures
+        );
+    }
+
+    let report = cred_verify::fuzz_suite(&cred_verify::FuzzConfig {
+        cases,
+        seed,
+        case: cred_verify::CaseConfig::default(),
+        shrink_failures: args.has("shrink"),
+    });
+    println!(
+        "fuzz: {} case(s) (seed {seed}; {} retime-unfold, {} unfold-retime), \
+         {} program(s) executed and diffed, {} failure(s)",
+        report.cases_run,
+        report.by_order[0],
+        report.by_order[1],
+        report.programs_checked,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        eprintln!("FAIL {}\n  {}", f.case, f.error);
+        if let Some((small, err)) = &f.shrunk {
+            eprintln!("  shrunk to {small}\n  {err}");
+            if let Some(dir) = &corpus_dir {
+                let path = dir.join(format!("{}.case", small.label));
+                cred_verify::corpus::save_case(small, &path).map_err(|e| e.to_string())?;
+                eprintln!("  saved reproducer to {}", path.display());
+            }
+        }
+    }
+    failures += report.failures.len();
+    if failures > 0 {
+        return Err(format!("{failures} verification failure(s)"));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
-        return fail("usage: credc <analyze|reduce|explore|schedule> <file.loop> [options]");
+        return fail("usage: credc <analyze|reduce|explore|schedule|verify> <file.loop> [options]");
     };
+    // `verify` fuzzes generated cases; it takes options but no input file.
+    if cmd == "verify" {
+        return match Args::parse(rest).and_then(|args| cmd_verify(&args)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        };
+    }
     let Some((path, raw_flags)) = rest.split_first() else {
         return fail("missing input file");
     };

@@ -37,6 +37,7 @@
 
 pub mod bundle;
 pub mod collapse;
+pub mod counts;
 pub mod cred;
 pub mod ir;
 pub mod perf;
@@ -45,5 +46,6 @@ pub mod pretty;
 pub mod size;
 pub mod unfolded;
 
+pub use counts::ExpectedCounts;
 pub use cred::DecMode;
 pub use ir::{Guard, Index, Inst, LoopProgram, LoopSpec, PredId, Ref};

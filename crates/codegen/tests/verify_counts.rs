@@ -1,0 +1,65 @@
+//! The closed-form [`ExpectedCounts`] predictions checked against every
+//! generator on fuzz-generated graphs, driven through `cred-verify`'s
+//! case generator (which samples the same parameter space as CI's
+//! `verify-smoke` job).
+
+use cred_codegen::cred::cred_rotating;
+use cred_codegen::{DecMode, ExpectedCounts};
+use cred_explore::cache::compute_plan;
+use cred_verify::{random_case, verify_case, CaseConfig, TransformOrder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn static_and_dynamic_counts_hold_on_fuzzed_cases() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let cfg = CaseConfig::default();
+    for i in 0..50 {
+        let c = random_case(&mut rng, format!("cg{i}"), &cfg);
+        let report = verify_case(&c).unwrap_or_else(|e| panic!("{c}: {e}"));
+        // The oracle's report carries the measured numbers; sanity-check
+        // the invariant the formulas encode: every program executes the
+        // same n * L useful computes, whatever its static size.
+        let useful = c.n * c.graph.node_count() as u64;
+        for p in &report.programs {
+            assert_eq!(
+                p.computes_executed, useful,
+                "{c}: {} executed {} useful computes, want {useful}",
+                p.name, p.computes_executed
+            );
+        }
+    }
+}
+
+#[test]
+fn rotating_variant_counts_match_bulk_minus_decrements() {
+    // `cred_rotating` is bulk CRED with hardware auto-decrement: same
+    // guards, same registers, `P` fewer explicit instructions.
+    let mut rng = StdRng::seed_from_u64(31);
+    let cfg = CaseConfig::default();
+    let mut exercised = 0;
+    for i in 0..40 {
+        let c = random_case(&mut rng, format!("rot{i}"), &cfg);
+        if c.order != TransformOrder::RetimeUnfold {
+            continue;
+        }
+        let r = compute_plan(&c.graph, c.f).projected;
+        let expect = ExpectedCounts::cred_rotating(&c.graph, &r, c.f, c.n);
+        let p = cred_rotating(&c.graph, &r, c.f, c.n);
+        expect
+            .check_static(&p)
+            .unwrap_or_else(|e| panic!("{c}: {e}"));
+        let bulk = ExpectedCounts::cred_retime_unfold(&c.graph, &r, c.f, c.n, DecMode::Bulk);
+        assert_eq!(expect.registers, bulk.registers, "{c}");
+        assert_eq!(
+            expect.code_size + expect.registers.min(bulk.code_size),
+            bulk.code_size.max(expect.code_size),
+            "{c}: rotating must save exactly the explicit decrements"
+        );
+        exercised += 1;
+    }
+    assert!(
+        exercised >= 10,
+        "only {exercised} retime-unfold cases drawn"
+    );
+}

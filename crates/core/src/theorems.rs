@@ -125,9 +125,11 @@ pub fn theorem_4_4(g: &Dfg, f: usize, n: u64) -> Check {
     let l = g.node_count() as i64;
     let m = r_f.max_value();
     let big_n = (n as i64) / f as i64;
-    if m > big_n {
-        // Degenerate windows (pipeline deeper than the unfolded trip
-        // count): the closed form does not apply.
+    if big_n - m < 1 {
+        // Degenerate windows (pipeline at least as deep as the unfolded
+        // trip count): no kernel is emitted and the whole schedule is
+        // straight-line, so the closed form does not apply. The `m == N`
+        // boundary case was found by cred-verify fuzzing.
         return Ok(());
     }
     let expect = (m + 1) * l * f as i64 + (n as i64 % f as i64) * l;
@@ -159,8 +161,12 @@ pub fn theorem_4_5(g: &Dfg, f: usize, n: u64) -> Check {
     }
     let m = projected.max_value();
     let n_i = n as i64;
-    if m > n_i {
-        return Ok(()); // degenerate window, closed form inapplicable
+    if n_i - m < f as i64 {
+        // Degenerate window: either the pipeline is deeper than the trip
+        // count (m > n) or no full kernel chunk fits (n - m < f), so the
+        // generator emits straight-line code of size n * L and the closed
+        // form does not apply. (Found by cred-verify fuzzing.)
+        return Ok(());
     }
     let l = g.node_count() as i64;
     let p = retime_unfold_program(g, &projected, f, n);

@@ -110,3 +110,32 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    #[test]
+    fn min_span_on_unfolded_graph_matches_reference(
+        seed in any::<u64>(),
+        nodes in 2..7usize,
+        f in 2..5usize,
+    ) {
+        // The warm-started incremental span minimizer must stay
+        // bit-identical to the dense Bellman–Ford reference on *unfolded*
+        // graphs — the shape the exploration pipeline actually feeds it
+        // (f copies per node, delays spread across copy boundaries).
+        let g = graph_from(seed, nodes);
+        let u = unfold(&g, f);
+        let wd = cred_dfg::algo::WdMatrices::compute(&u.graph);
+        let c = cred_retime::min_period_retiming_with(&u.graph, &wd).period;
+        let fast = cred_retime::span::min_span_retiming_with(&u.graph, &wd, c);
+        let dense = cred_retime::span::min_span_retiming_reference(&u.graph, &wd, c);
+        prop_assert_eq!(&fast, &dense);
+        let fast = fast.unwrap();
+        prop_assert!(fast.is_legal(&u.graph));
+        // And the compacted register assignment agrees too.
+        let a = cred_retime::span::compact_values_wd(&u.graph, &wd, c, &fast);
+        let b = cred_retime::span::compact_values_wd(&u.graph, &wd, c, &dense.unwrap());
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,173 @@
+//! Fuzz cases: one complete trip through the transformation pipeline.
+//!
+//! A [`Case`] fixes everything the pipeline is free to choose — the graph
+//! (node count, delay distribution, timing model), the trip count, the
+//! unfolding factor, the transformation order, and the decrement mode —
+//! so a failure is reproducible from the case alone, with no reference to
+//! the random stream that produced it.
+
+use cred_codegen::DecMode;
+use cred_dfg::gen::{random_dfg, RandomDfgConfig};
+use cred_dfg::Dfg;
+use rand::{Rng, RngExt};
+use std::fmt;
+
+/// Which composition of transformations the case exercises (§3.4 of the
+/// paper distinguishes the two orders; they need different register
+/// counts and code-size formulas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformOrder {
+    /// Retime first, then unfold the pipelined loop (Theorem 4.5 / 4.6).
+    RetimeUnfold,
+    /// Unfold first, then software-pipeline the unfolded loop
+    /// (Theorem 4.4).
+    UnfoldRetime,
+}
+
+impl fmt::Display for TransformOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformOrder::RetimeUnfold => write!(f, "retime-unfold"),
+            TransformOrder::UnfoldRetime => write!(f, "unfold-retime"),
+        }
+    }
+}
+
+/// One fuzz case: a graph plus every pipeline parameter.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Provenance tag (`seed0-case17`, or a corpus file stem).
+    pub label: String,
+    /// The data flow graph under transformation.
+    pub graph: Dfg,
+    /// Original trip count `n` (0 and tiny values are deliberately
+    /// included: they exercise the clipped-window code paths).
+    pub n: u64,
+    /// Unfolding factor `f >= 1`.
+    pub f: usize,
+    /// Transformation order.
+    pub order: TransformOrder,
+    /// Conditional-register decrement placement.
+    pub mode: DecMode,
+}
+
+impl fmt::Display for Case {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: |V|={} |E|={} n={} f={} {} {:?}",
+            self.label,
+            self.graph.node_count(),
+            self.graph.edge_count(),
+            self.n,
+            self.f,
+            self.order,
+            self.mode
+        )
+    }
+}
+
+/// Bounds for [`random_case`]. The defaults keep single-case runtime in
+/// the microsecond range so a thousand-case suite stays interactive.
+#[derive(Debug, Clone)]
+pub struct CaseConfig {
+    /// Maximum node count (minimum is 1).
+    pub max_nodes: usize,
+    /// Maximum per-edge delay (the delay distribution's upper bound is
+    /// itself drawn per case from `1..=max_delay`).
+    pub max_delay: u32,
+    /// Maximum node computation time (1 = the paper's unit-time model;
+    /// larger values exercise the Figure 8 timing model).
+    pub max_time: u32,
+    /// Maximum trip count `n`.
+    pub max_trip: u64,
+    /// Maximum unfolding factor.
+    pub max_unfold: usize,
+}
+
+impl Default for CaseConfig {
+    fn default() -> Self {
+        CaseConfig {
+            max_nodes: 10,
+            max_delay: 4,
+            max_time: 3,
+            max_trip: 40,
+            max_unfold: 4,
+        }
+    }
+}
+
+/// Draw one case from `rng`. Every free axis of the pipeline is sampled:
+/// graph shape and delay/timing distributions, trip count (biased toward
+/// degenerate `n <= 2` a quarter of the time), unfolding factor,
+/// transformation order, and decrement mode.
+pub fn random_case(rng: &mut impl Rng, label: String, cfg: &CaseConfig) -> Case {
+    let nodes = rng.random_range(1..=cfg.max_nodes);
+    let dfg_cfg = RandomDfgConfig {
+        nodes,
+        forward_edge_prob: rng.random_range(15..=50u32) as f64 / 100.0,
+        // At least one back edge keeps the graph cyclic, the paper's
+        // DSP-loop domain.
+        back_edges: rng.random_range(1..=nodes),
+        max_delay: rng.random_range(1..=cfg.max_delay),
+        max_time: rng.random_range(1..=cfg.max_time.max(1)),
+    };
+    let graph = random_dfg(rng, &dfg_cfg);
+    let n = if rng.random_bool(0.25) {
+        rng.random_range(0..=2u64)
+    } else {
+        rng.random_range(3..=cfg.max_trip)
+    };
+    Case {
+        label,
+        graph,
+        n,
+        f: rng.random_range(1..=cfg.max_unfold),
+        order: if rng.random_bool(0.5) {
+            TransformOrder::RetimeUnfold
+        } else {
+            TransformOrder::UnfoldRetime
+        },
+        mode: if rng.random_bool(0.5) {
+            DecMode::PerCopy
+        } else {
+            DecMode::Bulk
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cases_are_deterministic_per_seed() {
+        let cfg = CaseConfig::default();
+        let a = random_case(&mut StdRng::seed_from_u64(3), "t".into(), &cfg);
+        let b = random_case(&mut StdRng::seed_from_u64(3), "t".into(), &cfg);
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.f, b.f);
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+
+    #[test]
+    fn cases_are_well_formed_and_cover_both_orders() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = CaseConfig::default();
+        let mut orders = (false, false);
+        for i in 0..50 {
+            let c = random_case(&mut rng, format!("c{i}"), &cfg);
+            assert!(c.graph.validate().is_ok());
+            assert!(c.f >= 1);
+            match c.order {
+                TransformOrder::RetimeUnfold => orders.0 = true,
+                TransformOrder::UnfoldRetime => orders.1 = true,
+            }
+        }
+        assert!(orders.0 && orders.1);
+    }
+}

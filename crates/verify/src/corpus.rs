@@ -1,0 +1,290 @@
+//! Textual corpus format for fuzz cases.
+//!
+//! Shrunk failures are persisted as small `.case` files under
+//! `tests/corpus/` and replayed as regression tests (and by
+//! `cred verify --corpus`). The format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! # cred-verify case v1
+//! n 17
+//! f 2
+//! order retime-unfold
+//! mode bulk
+//! node A 1 add 0
+//! node B 1 scl 3 7
+//! edge 0 1 2
+//! ```
+//!
+//! Node lines are `node <name> <time> <mnemonic> <consts...>` in id order
+//! (so `edge` lines can refer to nodes by index); the mnemonics are
+//! [`OpKind::mnemonic`] with one constant (`add sub mul mac inp`) or two
+//! (`scl sml`).
+
+use crate::case::{Case, TransformOrder};
+use cred_codegen::DecMode;
+use cred_dfg::{Dfg, OpKind};
+use std::fs;
+use std::path::Path;
+
+const HEADER: &str = "# cred-verify case v1";
+
+/// Render `case` in the corpus format (label is carried by the file name,
+/// not the payload).
+pub fn to_text(case: &Case) -> String {
+    let g = &case.graph;
+    let mut s = String::new();
+    s.push_str(HEADER);
+    s.push('\n');
+    s.push_str(&format!("n {}\n", case.n));
+    s.push_str(&format!("f {}\n", case.f));
+    s.push_str(&format!("order {}\n", case.order));
+    s.push_str(&format!(
+        "mode {}\n",
+        match case.mode {
+            DecMode::PerCopy => "per-copy",
+            DecMode::Bulk => "bulk",
+        }
+    ));
+    for v in g.node_ids() {
+        let nd = g.node(v);
+        debug_assert!(
+            !nd.name.contains(char::is_whitespace),
+            "corpus format requires whitespace-free node names"
+        );
+        let consts = match nd.op {
+            OpKind::Add(c)
+            | OpKind::Sub(c)
+            | OpKind::Mul(c)
+            | OpKind::Mac(c)
+            | OpKind::Input(c) => format!("{c}"),
+            OpKind::Scale(k, c) | OpKind::ScaledMul(k, c) => format!("{k} {c}"),
+        };
+        s.push_str(&format!(
+            "node {} {} {} {}\n",
+            nd.name,
+            nd.time,
+            nd.op.mnemonic(),
+            consts
+        ));
+    }
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        s.push_str(&format!(
+            "edge {} {} {}\n",
+            ed.src.index(),
+            ed.dst.index(),
+            ed.delay
+        ));
+    }
+    s
+}
+
+fn parse_op(mnemonic: &str, consts: &[&str]) -> Result<OpKind, String> {
+    let one = || -> Result<i64, String> {
+        match consts {
+            [c] => c.parse().map_err(|_| format!("bad constant {c:?}")),
+            _ => Err(format!("{mnemonic} takes one constant")),
+        }
+    };
+    let two = || -> Result<(i64, i64), String> {
+        match consts {
+            [k, c] => Ok((
+                k.parse().map_err(|_| format!("bad constant {k:?}"))?,
+                c.parse().map_err(|_| format!("bad constant {c:?}"))?,
+            )),
+            _ => Err(format!("{mnemonic} takes two constants")),
+        }
+    };
+    Ok(match mnemonic {
+        "add" => OpKind::Add(one()?),
+        "sub" => OpKind::Sub(one()?),
+        "mul" => OpKind::Mul(one()?),
+        "mac" => OpKind::Mac(one()?),
+        "inp" => OpKind::Input(one()?),
+        "scl" => {
+            let (k, c) = two()?;
+            OpKind::Scale(k, c)
+        }
+        "sml" => {
+            let (k, c) = two()?;
+            OpKind::ScaledMul(k, c)
+        }
+        other => return Err(format!("unknown op mnemonic {other:?}")),
+    })
+}
+
+/// Parse the corpus format. `label` becomes the case's provenance tag.
+pub fn from_text(text: &str, label: &str) -> Result<Case, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        _ => return Err(format!("missing header line {HEADER:?}")),
+    }
+    let mut n = None;
+    let mut f = None;
+    let mut order = None;
+    let mut mode = None;
+    let mut g = Dfg::new();
+    let mut ids = Vec::new();
+    for (ln, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", ln + 1);
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields[0] {
+            "n" => {
+                n = Some(
+                    fields
+                        .get(1)
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| err("expected `n <u64>`".into()))?,
+                )
+            }
+            "f" => {
+                let v: usize = fields
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err("expected `f <usize>`".into()))?;
+                if v < 1 {
+                    return Err(err("unfolding factor must be >= 1".into()));
+                }
+                f = Some(v);
+            }
+            "order" => {
+                order = Some(match fields.get(1).copied() {
+                    Some("retime-unfold") => TransformOrder::RetimeUnfold,
+                    Some("unfold-retime") => TransformOrder::UnfoldRetime,
+                    other => return Err(err(format!("unknown order {other:?}"))),
+                })
+            }
+            "mode" => {
+                mode = Some(match fields.get(1).copied() {
+                    Some("per-copy") => DecMode::PerCopy,
+                    Some("bulk") => DecMode::Bulk,
+                    other => return Err(err(format!("unknown mode {other:?}"))),
+                })
+            }
+            "node" => {
+                if fields.len() < 4 {
+                    return Err(err("expected `node <name> <time> <op> <consts...>`".into()));
+                }
+                let time: u32 = fields[2]
+                    .parse()
+                    .map_err(|_| err(format!("bad time {:?}", fields[2])))?;
+                let op = parse_op(fields[3], &fields[4..]).map_err(err)?;
+                ids.push(g.add_node(fields[1].to_string(), time, op));
+            }
+            "edge" => {
+                if fields.len() != 4 {
+                    return Err(err("expected `edge <src> <dst> <delay>`".into()));
+                }
+                let src: usize = fields[1]
+                    .parse()
+                    .map_err(|_| err(format!("bad src {:?}", fields[1])))?;
+                let dst: usize = fields[2]
+                    .parse()
+                    .map_err(|_| err(format!("bad dst {:?}", fields[2])))?;
+                let delay: u32 = fields[3]
+                    .parse()
+                    .map_err(|_| err(format!("bad delay {:?}", fields[3])))?;
+                if src >= ids.len() || dst >= ids.len() {
+                    return Err(err(format!(
+                        "edge refers to node {} but only {} are declared",
+                        src.max(dst),
+                        ids.len()
+                    )));
+                }
+                g.add_edge(ids[src], ids[dst], delay);
+            }
+            other => return Err(err(format!("unknown directive {other:?}"))),
+        }
+    }
+    g.validate().map_err(|e| format!("invalid graph: {e}"))?;
+    Ok(Case {
+        label: label.to_string(),
+        graph: g,
+        n: n.ok_or("missing `n` line")?,
+        f: f.ok_or("missing `f` line")?,
+        order: order.ok_or("missing `order` line")?,
+        mode: mode.ok_or("missing `mode` line")?,
+    })
+}
+
+/// Write `case` to `path` in the corpus format.
+pub fn save_case(case: &Case, path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, to_text(case))
+}
+
+/// Load one `.case` file; the file stem becomes the label.
+pub fn load_case(path: &Path) -> Result<Case, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let label = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "corpus".into());
+    from_text(&text, &label).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Load every `*.case` file under `dir`, sorted by file name. A missing
+/// directory is an empty corpus, not an error.
+pub fn load_dir(dir: &Path) -> Result<Vec<Case>, String> {
+    let mut paths = Vec::new();
+    match fs::read_dir(dir) {
+        Ok(entries) => {
+            for entry in entries {
+                let p = entry.map_err(|e| e.to_string())?.path();
+                if p.extension().is_some_and(|e| e == "case") {
+                    paths.push(p);
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    }
+    paths.sort();
+    paths.iter().map(|p| load_case(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::{random_case, CaseConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrips_random_cases() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = CaseConfig::default();
+        for i in 0..40 {
+            let c = random_case(&mut rng, format!("r{i}"), &cfg);
+            let back = from_text(&to_text(&c), &c.label).unwrap();
+            assert_eq!(back.n, c.n);
+            assert_eq!(back.f, c.f);
+            assert_eq!(back.order, c.order);
+            assert_eq!(back.mode, c.mode);
+            assert_eq!(back.graph.fingerprint(), c.graph.fingerprint());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(from_text("", "x").is_err());
+        let ok = "# cred-verify case v1\nn 3\nf 1\norder retime-unfold\nmode bulk\nnode A 1 add 0\nedge 0 0 1\n";
+        assert!(from_text(ok, "x").is_ok());
+        for broken in [
+            ok.replace("order retime-unfold", "order sideways").as_str(),
+            ok.replace("edge 0 0 1", "edge 0 3 1").as_str(),
+            ok.replace("node A 1 add 0", "node A 1 add").as_str(),
+            ok.replace("n 3\n", "").as_str(),
+            ok.replace("edge 0 0 1", "edge 0 0 0").as_str(), // zero-delay self-loop
+        ] {
+            assert!(from_text(broken, "x").is_err(), "{broken}");
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! The differential oracle: run one [`Case`] through every generator its
+//! transformation order covers, execute the results on `cred-vm`, and
+//! check four independent layers of predictions:
+//!
+//! 1. **static** — code size, compute count, register count, and trip
+//!    count against `cred-codegen`'s closed-form [`ExpectedCounts`];
+//! 2. **values** — every array element against
+//!    [`Dfg::reference_execution`](cred_dfg::Dfg::reference_execution)
+//!    via the VM's strict semantics (structured
+//!    [`DiffReport`](cred_vm::DiffReport) on mismatch);
+//! 3. **dynamic** — executed/nullified instruction counts reported by the
+//!    VM against the same closed forms (Theorems 4.1/4.2/4.6);
+//! 4. **trace** — the guard-state dry run ([`trace_loop`]) must agree
+//!    with both the static schedule (`trip * body computes` events) and
+//!    the dynamic counts.
+//!
+//! On top of the per-program checks, the paper's theorem checkers
+//! (`cred-core::theorems`, the S_ret / S_{r,f} / S_{f,r} size formulas)
+//! run against the case's graph, retiming, and factor.
+
+use crate::case::{Case, TransformOrder};
+use cred_codegen::cred::{cred_pipelined, cred_retime_unfold, cred_unfold_retime};
+use cred_codegen::pipeline::{original_program, pipelined_program};
+use cred_codegen::unfolded::{retime_unfold_program, unfold_retime_program};
+use cred_codegen::{ExpectedCounts, Inst, LoopProgram};
+use cred_core::theorems;
+use cred_explore::cache::compute_plan;
+use cred_retime::min_period_retiming;
+use cred_unfold::unfold;
+use cred_vm::{diff_against_reference, trace_loop};
+use std::fmt;
+
+/// Which oracle layer rejected the case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Static instruction counts deviate from the closed forms.
+    Static,
+    /// The VM faulted or produced values differing from the reference.
+    Values,
+    /// Executed/nullified counts deviate from the closed forms.
+    Dynamic,
+    /// The guard-state trace disagrees with the schedule or the counts.
+    Trace,
+    /// A `cred-core` theorem checker rejected the case.
+    Theorem,
+}
+
+/// A rejected case: which program, which oracle layer, and a rendered
+/// diagnostic.
+#[derive(Debug, Clone)]
+pub struct VerifyFailure {
+    /// Generator tag of the failing program (`"cred"`, `"pipelined"`,
+    /// ...), or `"theorems"` for a theorem-layer failure.
+    pub program: String,
+    /// The oracle layer that fired.
+    pub kind: FailureKind,
+    /// Human-readable diagnostic (VM site/diff reports included).
+    pub detail: String,
+}
+
+impl fmt::Display for VerifyFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}] {}: {}", self.kind, self.program, self.detail)
+    }
+}
+
+impl std::error::Error for VerifyFailure {}
+
+/// Per-program summary of a passing case.
+#[derive(Debug, Clone)]
+pub struct ProgramReport {
+    /// Generator tag.
+    pub name: String,
+    /// Static code size.
+    pub code_size: usize,
+    /// Conditional registers used.
+    pub registers: usize,
+    /// Guard-enabled compute executions.
+    pub computes_executed: u64,
+    /// Guard-disabled compute executions.
+    pub computes_nullified: u64,
+}
+
+/// Everything a passing case established.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// The case's provenance tag.
+    pub label: String,
+    /// Minimum cycle period of the (unfolded) graph the pipeline found.
+    pub period: u64,
+    /// One entry per program the oracle generated and executed.
+    pub programs: Vec<ProgramReport>,
+}
+
+fn computes(insts: &[Inst]) -> u64 {
+    insts
+        .iter()
+        .filter(|i| matches!(i, Inst::Compute { .. }))
+        .count() as u64
+}
+
+/// All programs the case's transformation order produces, paired with
+/// their closed-form expectations, plus the achieved period.
+fn programs_for(case: &Case) -> (Vec<(LoopProgram, ExpectedCounts)>, u64) {
+    let g = &case.graph;
+    let (n, f) = (case.n, case.f);
+    let mut out = vec![(original_program(g, n), ExpectedCounts::original(g, n))];
+    match case.order {
+        TransformOrder::RetimeUnfold => {
+            // The production path under attack: the warm-started solver
+            // pipeline behind `cred explore` (period search, span
+            // minimization, register compaction, Theorem 4.5 projection).
+            let plan = compute_plan(g, f);
+            let r = &plan.projected;
+            out.push((
+                pipelined_program(g, r, n),
+                ExpectedCounts::pipelined(g, r, n),
+            ));
+            out.push((
+                retime_unfold_program(g, r, f, n),
+                ExpectedCounts::retime_unfold(g, r, f, n),
+            ));
+            out.push((
+                cred_retime_unfold(g, r, f, n, case.mode),
+                ExpectedCounts::cred_retime_unfold(g, r, f, n, case.mode),
+            ));
+            if f > 1 {
+                // Also collapse the un-unfolded pipelined loop, so every
+                // case attacks the f = 1 CRED path as well.
+                out.push((
+                    cred_pipelined(g, r, n),
+                    ExpectedCounts::cred_pipelined(g, r, n),
+                ));
+            }
+            (out, plan.period)
+        }
+        TransformOrder::UnfoldRetime => {
+            let u = unfold(g, f);
+            let opt = min_period_retiming(&u.graph);
+            let r_f = &opt.retiming;
+            out.push((
+                unfold_retime_program(g, &u, r_f, n),
+                ExpectedCounts::unfold_retime(g, &u, r_f, n),
+            ));
+            out.push((
+                cred_unfold_retime(g, &u, r_f, n),
+                ExpectedCounts::cred_unfold_retime(g, &u, r_f, n),
+            ));
+            (out, opt.period)
+        }
+    }
+}
+
+fn verify_program(
+    case: &Case,
+    p: &LoopProgram,
+    expect: &ExpectedCounts,
+    mutated: bool,
+) -> Result<ProgramReport, VerifyFailure> {
+    let fail = |kind, detail: String| VerifyFailure {
+        program: p.name.clone(),
+        kind,
+        detail,
+    };
+    // Layer 1: static counts. Skipped for mutated programs — a mutation
+    // is free to change the static shape; what matters is that the
+    // execution layers below catch it.
+    if !mutated {
+        expect
+            .check_static(p)
+            .map_err(|e| fail(FailureKind::Static, e))?;
+    }
+    // Layer 2: strict execution + full value diff.
+    let res = diff_against_reference(&case.graph, p)
+        .map_err(|d| fail(FailureKind::Values, d.to_string()))?;
+    // Layer 3: dynamic counts.
+    expect
+        .check_dynamic(res.computes_executed, res.computes_nullified)
+        .map_err(|e| fail(FailureKind::Dynamic, e))?;
+    // Layer 4: the guard-state trace agrees with the static schedule and
+    // with the dynamic counts (straight-line pre/post computes always
+    // execute and are not traced).
+    if let Some(l) = &p.body {
+        let ev = trace_loop(p);
+        let want_events = l.trip_count() * computes(&l.body);
+        if ev.len() as u64 != want_events {
+            return Err(fail(
+                FailureKind::Trace,
+                format!(
+                    "trace produced {} events, schedule says trip * body = {}",
+                    ev.len(),
+                    want_events
+                ),
+            ));
+        }
+        let enabled = ev.iter().filter(|e| e.enabled).count() as u64;
+        let straight_line = computes(&p.pre) + computes(&p.post);
+        if enabled + straight_line != expect.computes_executed {
+            return Err(fail(
+                FailureKind::Trace,
+                format!(
+                    "trace enabled {enabled} + straight-line {straight_line} != expected executed {}",
+                    expect.computes_executed
+                ),
+            ));
+        }
+    }
+    Ok(ProgramReport {
+        name: p.name.clone(),
+        code_size: p.code_size(),
+        registers: p.register_count(),
+        computes_executed: res.computes_executed,
+        computes_nullified: res.computes_nullified,
+    })
+}
+
+fn check_theorems(case: &Case) -> Result<(), VerifyFailure> {
+    let g = &case.graph;
+    let (n, f) = (case.n, case.f);
+    let fail = |detail: String| VerifyFailure {
+        program: "theorems".into(),
+        kind: FailureKind::Theorem,
+        detail,
+    };
+    match case.order {
+        TransformOrder::RetimeUnfold => {
+            let r = compute_plan(g, f).projected;
+            theorems::theorem_4_1(g, &r, n).map_err(&fail)?;
+            theorems::theorem_4_2(g, &r, n).map_err(&fail)?;
+            theorems::theorem_4_3(g, &r, n).map_err(&fail)?;
+            theorems::theorem_4_5(g, f, n).map_err(&fail)?;
+            theorems::theorem_4_6(g, &r, f, n).map_err(&fail)?;
+            theorems::theorem_4_7(g, &r, f, n).map_err(&fail)?;
+        }
+        TransformOrder::UnfoldRetime => {
+            theorems::theorem_4_4(g, f, n).map_err(&fail)?;
+            theorems::theorem_4_5(g, f, n).map_err(&fail)?;
+        }
+    }
+    Ok(())
+}
+
+/// Run the full oracle on one case.
+pub fn verify_case(case: &Case) -> Result<CaseReport, VerifyFailure> {
+    verify_case_with(case, None)
+}
+
+/// Run the oracle with a program mutator injected between code generation
+/// and execution — the mutation-testing entry point. The mutator sees
+/// every generated program (filter on `p.name` to target one); theorem
+/// checks are skipped since they regenerate their own programs.
+pub fn verify_case_mutated(
+    case: &Case,
+    mutate: &dyn Fn(&mut LoopProgram),
+) -> Result<CaseReport, VerifyFailure> {
+    verify_case_with(case, Some(mutate))
+}
+
+fn verify_case_with(
+    case: &Case,
+    mutate: Option<&dyn Fn(&mut LoopProgram)>,
+) -> Result<CaseReport, VerifyFailure> {
+    let (mut programs, period) = programs_for(case);
+    if let Some(m) = mutate {
+        for (p, _) in &mut programs {
+            m(p);
+        }
+    }
+    let mut reports = Vec::with_capacity(programs.len());
+    for (p, expect) in &programs {
+        reports.push(verify_program(case, p, expect, mutate.is_some())?);
+    }
+    if mutate.is_none() {
+        check_theorems(case)?;
+    }
+    Ok(CaseReport {
+        label: case.label.clone(),
+        period,
+        programs: reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::{random_case, CaseConfig};
+    use cred_codegen::DecMode;
+    use cred_dfg::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain_case(order: TransformOrder) -> Case {
+        Case {
+            label: "chain".into(),
+            graph: gen::chain_with_feedback(5, 2),
+            n: 17,
+            f: 2,
+            order,
+            mode: DecMode::Bulk,
+        }
+    }
+
+    #[test]
+    fn chain_passes_both_orders() {
+        for order in [TransformOrder::RetimeUnfold, TransformOrder::UnfoldRetime] {
+            let rep = verify_case(&chain_case(order)).unwrap();
+            assert!(rep.programs.len() >= 3);
+            // The original program is always first and unguarded.
+            assert_eq!(rep.programs[0].name, "original");
+            assert_eq!(rep.programs[0].computes_nullified, 0);
+        }
+    }
+
+    #[test]
+    fn random_cases_pass() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let cfg = CaseConfig::default();
+        for i in 0..25 {
+            let c = random_case(&mut rng, format!("t{i}"), &cfg);
+            verify_case(&c).unwrap_or_else(|e| panic!("{c}: {e}"));
+        }
+    }
+
+    #[test]
+    fn guard_offset_mutation_is_caught() {
+        let case = chain_case(TransformOrder::RetimeUnfold);
+        let err = verify_case_mutated(&case, &|p| {
+            if !p.name.starts_with("cred") {
+                return;
+            }
+            if let Some(l) = &mut p.body {
+                for inst in &mut l.body {
+                    if let cred_codegen::Inst::Compute { guard: Some(g), .. } = inst {
+                        g.offset += 1;
+                        return;
+                    }
+                }
+            }
+        })
+        .unwrap_err();
+        // The shifted guard window mis-masks the prologue: the VM layers
+        // must catch it (as a fault, a value diff, or a count deviation).
+        assert!(
+            matches!(
+                err.kind,
+                FailureKind::Values | FailureKind::Dynamic | FailureKind::Trace
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn identity_mutation_passes() {
+        let case = chain_case(TransformOrder::UnfoldRetime);
+        verify_case_mutated(&case, &|_| {}).unwrap();
+    }
+}

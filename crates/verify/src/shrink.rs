@@ -1,0 +1,216 @@
+//! Greedy failure shrinker.
+//!
+//! Given a failing [`Case`] and a predicate `still_fails`, repeatedly try
+//! structure-reducing edits — drop a node, drop an edge, shrink the trip
+//! count or unfolding factor, flatten delays, unit times, simplify ops —
+//! and keep any edit after which the predicate still holds. Every accepted
+//! edit strictly decreases a finite measure (node count, edge count, `f`,
+//! `n`, total delay, total time, op complexity), so the loop terminates;
+//! it stops at a local minimum where no single edit preserves the failure.
+//!
+//! The vendored `proptest` stand-in deliberately has no shrinking, so this
+//! is the only minimizer in the workspace — corpus entries under
+//! `tests/corpus/` are its outputs.
+
+use crate::case::Case;
+use cred_dfg::{Dfg, OpKind};
+
+/// Rebuild `g` without node index `drop`, remapping edges (incident edges
+/// are dropped with the node). Returns `None` if the result is malformed.
+fn without_node(g: &Dfg, drop: usize) -> Option<Dfg> {
+    if g.node_count() <= 1 {
+        return None;
+    }
+    let mut out = Dfg::new();
+    let mut map = vec![usize::MAX; g.node_count()];
+    for v in g.node_ids() {
+        if v.index() == drop {
+            continue;
+        }
+        let nd = g.node(v);
+        map[v.index()] = out.add_node(nd.name.clone(), nd.time, nd.op).index();
+    }
+    let ids: Vec<_> = out.node_ids().collect();
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        let (s, d) = (map[ed.src.index()], map[ed.dst.index()]);
+        if s == usize::MAX || d == usize::MAX {
+            continue;
+        }
+        out.add_edge(ids[s], ids[d], ed.delay);
+    }
+    out.validate().ok()?;
+    Some(out)
+}
+
+/// Rebuild `g` with a per-edge delay override (or edge dropped when the
+/// override is `None`), keeping nodes intact.
+fn with_edges(g: &Dfg, f: impl Fn(usize, u32) -> Option<u32>) -> Option<Dfg> {
+    let mut out = Dfg::new();
+    for v in g.node_ids() {
+        let nd = g.node(v);
+        out.add_node(nd.name.clone(), nd.time, nd.op);
+    }
+    let ids: Vec<_> = out.node_ids().collect();
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        if let Some(delay) = f(e.index(), ed.delay) {
+            out.add_edge(ids[ed.src.index()], ids[ed.dst.index()], delay);
+        }
+    }
+    out.validate().ok()?;
+    Some(out)
+}
+
+/// Rebuild `g` with every node mapped through `f` as `(time, op)`.
+fn with_nodes(g: &Dfg, f: impl Fn(u32, OpKind) -> (u32, OpKind)) -> Option<Dfg> {
+    let mut out = Dfg::new();
+    for v in g.node_ids() {
+        let nd = g.node(v);
+        let (time, op) = f(nd.time, nd.op);
+        out.add_node(nd.name.clone(), time, op);
+    }
+    let ids: Vec<_> = out.node_ids().collect();
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        out.add_edge(ids[ed.src.index()], ids[ed.dst.index()], ed.delay);
+    }
+    out.validate().ok()?;
+    Some(out)
+}
+
+fn op_complexity(op: OpKind) -> u32 {
+    match op {
+        OpKind::Add(0) => 0,
+        OpKind::Add(_) => 1,
+        OpKind::Input(_) => 2,
+        OpKind::Sub(_) | OpKind::Mul(_) => 3,
+        OpKind::Scale(..) => 4,
+        OpKind::Mac(_) | OpKind::ScaledMul(..) => 5,
+    }
+}
+
+/// Candidate single edits of `case`, roughly most-aggressive first.
+fn candidates(case: &Case) -> Vec<Case> {
+    let g = &case.graph;
+    let mut out = Vec::new();
+    let mut push_graph = |graph: Option<Dfg>| {
+        if let Some(graph) = graph {
+            out.push(Case {
+                graph,
+                ..case.clone()
+            });
+        }
+    };
+    // Drop each node (with incident edges), then each edge.
+    for v in 0..g.node_count() {
+        push_graph(without_node(g, v));
+    }
+    for e in 0..g.edge_count() {
+        push_graph(with_edges(g, |i, d| (i != e).then_some(d)));
+    }
+    // Flatten all delays to 1, then reduce each edge's delay by one.
+    if g.edge_ids().any(|e| g.edge(e).delay > 1) {
+        push_graph(with_edges(g, |_, d| Some(d.min(1))));
+    }
+    for e in 0..g.edge_count() {
+        let d = g.edge(cred_dfg::EdgeId(e as u32)).delay;
+        if d > 0 {
+            push_graph(with_edges(g, |i, d| Some(if i == e { d - 1 } else { d })));
+        }
+    }
+    // Unit-time every node; simplify every op to the cheapest one that
+    // still ranks lower on the complexity order.
+    if !g.is_unit_time() {
+        push_graph(with_nodes(g, |_, op| (1, op)));
+    }
+    if g.node_ids().any(|v| op_complexity(g.node(v).op) > 0) {
+        push_graph(with_nodes(g, |t, _| (t, OpKind::Add(0))));
+    }
+    // Shrink the pipeline parameters.
+    for f in [1, case.f / 2, case.f - 1] {
+        if f >= 1 && f < case.f {
+            out.push(Case { f, ..case.clone() });
+        }
+    }
+    for n in [0, 1, 2, case.n / 2, case.n.saturating_sub(1)] {
+        if n < case.n {
+            out.push(Case { n, ..case.clone() });
+        }
+    }
+    out
+}
+
+/// Strictly-decreasing measure driving termination.
+fn measure(case: &Case) -> (usize, usize, usize, u64, u64, u64, u64) {
+    let g = &case.graph;
+    (
+        g.node_count(),
+        g.edge_count(),
+        case.f,
+        case.n,
+        g.total_delays(),
+        g.total_time(),
+        g.node_ids()
+            .map(|v| op_complexity(g.node(v).op) as u64)
+            .sum(),
+    )
+}
+
+/// Greedily minimize `case` under `still_fails`. The input must itself
+/// satisfy the predicate; the result does, and no single candidate edit of
+/// it does while being smaller.
+pub fn shrink(case: &Case, still_fails: &dyn Fn(&Case) -> bool) -> Case {
+    debug_assert!(still_fails(case), "shrink requires a failing input");
+    let mut best = case.clone();
+    loop {
+        let before = measure(&best);
+        let next = candidates(&best)
+            .into_iter()
+            .find(|c| measure(c) < before && still_fails(c));
+        match next {
+            Some(c) => best = c,
+            None => break,
+        }
+    }
+    best.label = format!("{}-shrunk", case.label);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::TransformOrder;
+    use cred_codegen::DecMode;
+    use cred_dfg::gen;
+
+    fn big_case() -> Case {
+        Case {
+            label: "big".into(),
+            graph: gen::layered(3, 3, 2),
+            n: 30,
+            f: 3,
+            order: TransformOrder::RetimeUnfold,
+            mode: DecMode::Bulk,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_single_node_under_trivial_predicate() {
+        let out = shrink(&big_case(), &|_| true);
+        assert_eq!(out.graph.node_count(), 1);
+        assert_eq!(out.f, 1);
+        assert_eq!(out.n, 0);
+        assert!(out.label.ends_with("-shrunk"));
+    }
+
+    #[test]
+    fn preserves_predicate_that_needs_structure() {
+        // Predicate: at least 2 nodes and n >= 5. The shrinker must stop
+        // exactly at that boundary.
+        let out = shrink(&big_case(), &|c| c.graph.node_count() >= 2 && c.n >= 5);
+        assert_eq!(out.graph.node_count(), 2);
+        assert_eq!(out.n, 5);
+        assert!(out.graph.validate().is_ok());
+    }
+}

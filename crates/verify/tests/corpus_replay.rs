@@ -1,0 +1,32 @@
+//! Regression replay: every `.case` file committed under the repository's
+//! `tests/corpus/` must still pass the full oracle, and the textual format
+//! must roundtrip it byte-identically.
+
+use cred_verify::{corpus, verify_case};
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[test]
+fn committed_corpus_replays_clean() {
+    let cases = corpus::load_dir(&corpus_dir()).unwrap();
+    assert!(
+        !cases.is_empty(),
+        "committed corpus must not be empty (see tests/corpus/README.md)"
+    );
+    for case in &cases {
+        verify_case(case).unwrap_or_else(|e| panic!("{case}: {e}"));
+    }
+}
+
+#[test]
+fn committed_corpus_roundtrips() {
+    for case in corpus::load_dir(&corpus_dir()).unwrap() {
+        let text = corpus::to_text(&case);
+        let back = corpus::from_text(&text, &case.label).unwrap();
+        assert_eq!(corpus::to_text(&back), text, "{}", case.label);
+        assert_eq!(back.graph.fingerprint(), case.graph.fingerprint());
+    }
+}

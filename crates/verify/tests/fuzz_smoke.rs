@@ -1,0 +1,45 @@
+//! Bounded fuzz smoke test: the differential pipeline must be clean on a
+//! fixed seed. CI's `verify-smoke` job runs the same configuration through
+//! the CLI (`cred verify --cases 200 --seed 0`).
+
+use cred_verify::{fuzz_suite, CaseConfig, FuzzConfig};
+
+#[test]
+fn two_hundred_cases_seed_zero_are_clean() {
+    let report = fuzz_suite(&FuzzConfig {
+        cases: 200,
+        seed: 0,
+        case: CaseConfig::default(),
+        shrink_failures: true,
+    });
+    if let Some(f) = report.failures.first() {
+        let detail = match &f.shrunk {
+            Some((small, err)) => format!("shrunk to {small}: {err}"),
+            None => String::new(),
+        };
+        panic!("{}: {} {detail}", f.case, f.error);
+    }
+    assert_eq!(report.cases_run, 200);
+    assert!(report.by_order[0] > 50 && report.by_order[1] > 50);
+}
+
+#[test]
+fn stress_axes_beyond_defaults_are_clean() {
+    // Push each axis past the default envelope: more nodes, deeper
+    // delays, non-unit times, bigger unfolding factors.
+    let report = fuzz_suite(&FuzzConfig {
+        cases: 60,
+        seed: 1,
+        case: CaseConfig {
+            max_nodes: 14,
+            max_delay: 6,
+            max_time: 4,
+            max_trip: 60,
+            max_unfold: 6,
+        },
+        shrink_failures: false,
+    });
+    if let Some(f) = report.failures.first() {
+        panic!("{}: {}", f.case, f.error);
+    }
+}

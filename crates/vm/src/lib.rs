@@ -23,5 +23,8 @@
 mod machine;
 mod trace;
 
-pub use machine::{check_against_reference, execute, ExecError, ExecResult};
+pub use machine::{
+    check_against_reference, diff_against_reference, execute, DiffReport, ExecError, ExecResult,
+    MismatchCell, Site,
+};
 pub use trace::{trace_loop, TraceEvent};

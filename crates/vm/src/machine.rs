@@ -5,9 +5,32 @@ use cred_dfg::Dfg;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Where a fault occurred: the instruction that was executing (identified
+/// by its destination node, or the register name for `Dec` faults) and the
+/// loop induction value at that moment (`0` in pre/post straight-line
+/// code). Attached to every runtime [`ExecError`] so fuzzer and shrinker
+/// output pinpoints the failing instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// Node (destination array) of the executing instruction; for a
+    /// register fault, the register's display name (`p1`).
+    pub node: String,
+    /// Loop induction variable value (`0` outside the loop).
+    pub iteration: i64,
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at {}, i = {}", self.node, self.iteration)
+    }
+}
+
 /// Execution failure. Every variant indicates a *generator bug* (or a
 /// deliberately corrupted program in tests), never a data-dependent
-/// condition.
+/// condition. Runtime faults carry the `(node, iteration, index)` of the
+/// offending access via [`Site`]; post-run faults (`Incomplete`,
+/// `Mismatch`) identify the element itself, whose index *is* the
+/// iteration of the original recurrence.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
     /// A write landed outside `1..=n` — a guard failed to mask an overrun.
@@ -16,6 +39,8 @@ pub enum ExecError {
         array: String,
         /// Offending index.
         index: i64,
+        /// Executing instruction and iteration.
+        at: Site,
     },
     /// An element was written twice — an instance was emitted twice.
     DoubleWrite {
@@ -23,6 +48,8 @@ pub enum ExecError {
         array: String,
         /// Offending index.
         index: i64,
+        /// Executing instruction and iteration.
+        at: Site,
     },
     /// An in-range element was read before being written — an ordering or
     /// window bug.
@@ -31,6 +58,8 @@ pub enum ExecError {
         array: String,
         /// Offending index.
         index: i64,
+        /// Executing instruction and iteration.
+        at: Site,
     },
     /// A read beyond `n`.
     OutOfRangeRead {
@@ -38,16 +67,23 @@ pub enum ExecError {
         array: String,
         /// Offending index.
         index: i64,
+        /// Executing instruction and iteration.
+        at: Site,
     },
     /// A guard or decrement referenced a register never `setup`.
-    UnboundRegister(u32),
+    UnboundRegister {
+        /// Zero-based register id (displays as `p{reg+1}`).
+        reg: u32,
+        /// Executing instruction and iteration.
+        at: Site,
+    },
     /// The loop structure itself is malformed (non-positive step).
     InvalidLoop(&'static str),
     /// After execution some element of `1..=n` was never written.
     Incomplete {
         /// Array name.
         array: String,
-        /// First missing index.
+        /// First missing index (the never-computed iteration).
         index: i64,
     },
     /// Result mismatch against the DFG reference execution.
@@ -66,19 +102,21 @@ pub enum ExecError {
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExecError::OutOfRangeWrite { array, index } => {
-                write!(f, "out-of-range write {array}[{index}]")
+            ExecError::OutOfRangeWrite { array, index, at } => {
+                write!(f, "out-of-range write {array}[{index}] ({at})")
             }
-            ExecError::DoubleWrite { array, index } => {
-                write!(f, "double write {array}[{index}]")
+            ExecError::DoubleWrite { array, index, at } => {
+                write!(f, "double write {array}[{index}] ({at})")
             }
-            ExecError::UseBeforeDef { array, index } => {
-                write!(f, "use before def {array}[{index}]")
+            ExecError::UseBeforeDef { array, index, at } => {
+                write!(f, "use before def {array}[{index}] ({at})")
             }
-            ExecError::OutOfRangeRead { array, index } => {
-                write!(f, "out-of-range read {array}[{index}]")
+            ExecError::OutOfRangeRead { array, index, at } => {
+                write!(f, "out-of-range read {array}[{index}] ({at})")
             }
-            ExecError::UnboundRegister(r) => write!(f, "register p{} never setup", r + 1),
+            ExecError::UnboundRegister { reg, at } => {
+                write!(f, "register p{} never setup ({at})", reg + 1)
+            }
             ExecError::InvalidLoop(why) => write!(f, "malformed loop: {why}"),
             ExecError::Incomplete { array, index } => {
                 write!(f, "{array}[{index}] never computed")
@@ -107,6 +145,75 @@ pub struct ExecResult {
     pub computes_nullified: u64,
 }
 
+/// One differing element found by [`diff_against_reference`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MismatchCell {
+    /// Array name.
+    pub array: String,
+    /// Iteration index (`1..=n`).
+    pub index: i64,
+    /// Value the program computed.
+    pub got: i64,
+    /// Value the recurrence defines.
+    pub expected: i64,
+}
+
+impl fmt::Display for MismatchCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] = {}, reference says {}",
+            self.array, self.index, self.got, self.expected
+        )
+    }
+}
+
+/// Structured failure report from [`diff_against_reference`]: either the
+/// program faulted mid-run, or it completed and some cells differ from the
+/// reference recurrence. Unlike the single-error
+/// [`check_against_reference`], a value diff lists *every* differing cell
+/// (display is capped), so an oracle failure shows the full damage extent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffReport {
+    /// Execution itself faulted.
+    Exec(ExecError),
+    /// Execution completed but `cells` differ from the reference.
+    Values {
+        /// All differing cells, in array-major order.
+        cells: Vec<MismatchCell>,
+    },
+}
+
+impl DiffReport {
+    /// Number of differing cells (`1` for an execution fault).
+    pub fn mismatch_count(&self) -> usize {
+        match self {
+            DiffReport::Exec(_) => 1,
+            DiffReport::Values { cells } => cells.len(),
+        }
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffReport::Exec(e) => write!(f, "execution fault: {e}"),
+            DiffReport::Values { cells } => {
+                write!(f, "{} cell(s) differ from reference", cells.len())?;
+                for c in cells.iter().take(8) {
+                    write!(f, "; {c}")?;
+                }
+                if cells.len() > 8 {
+                    write!(f, "; ...")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiffReport {}
+
 struct Machine<'p> {
     p: &'p LoopProgram,
     n: i64,
@@ -132,16 +239,26 @@ impl<'p> Machine<'p> {
         self.p.arrays[a as usize].clone()
     }
 
-    fn guard_enabled(&self, g: &Guard) -> Result<bool, ExecError> {
-        let &(value, bound) = self
-            .regs
-            .get(&g.reg.0)
-            .ok_or(ExecError::UnboundRegister(g.reg.0))?;
+    fn site(&self, node: u32, i: i64) -> Site {
+        Site {
+            node: self.array_name(node),
+            iteration: i,
+        }
+    }
+
+    fn guard_enabled(&self, g: &Guard, node: u32, i: i64) -> Result<bool, ExecError> {
+        let &(value, bound) =
+            self.regs
+                .get(&g.reg.0)
+                .ok_or_else(|| ExecError::UnboundRegister {
+                    reg: g.reg.0,
+                    at: self.site(node, i),
+                })?;
         let eff = value - g.offset;
         Ok(bound < eff && eff <= 0)
     }
 
-    fn read(&self, a: u32, idx: i64) -> Result<i64, ExecError> {
+    fn read(&self, a: u32, idx: i64, node: u32, i: i64) -> Result<i64, ExecError> {
         if idx <= 0 {
             return Ok(0); // initial conditions, e.g. E[-3]
         }
@@ -149,19 +266,22 @@ impl<'p> Machine<'p> {
             return Err(ExecError::OutOfRangeRead {
                 array: self.array_name(a),
                 index: idx,
+                at: self.site(node, i),
             });
         }
         self.cells[a as usize][(idx - 1) as usize].ok_or_else(|| ExecError::UseBeforeDef {
             array: self.array_name(a),
             index: idx,
+            at: self.site(node, i),
         })
     }
 
-    fn write(&mut self, a: u32, idx: i64, val: i64) -> Result<(), ExecError> {
+    fn write(&mut self, a: u32, idx: i64, val: i64, i: i64) -> Result<(), ExecError> {
         if !(1..=self.n).contains(&idx) {
             return Err(ExecError::OutOfRangeWrite {
                 array: self.array_name(a),
                 index: idx,
+                at: self.site(a, i),
             });
         }
         let cell = &mut self.cells[a as usize][(idx - 1) as usize];
@@ -169,6 +289,7 @@ impl<'p> Machine<'p> {
             return Err(ExecError::DoubleWrite {
                 array: self.array_name(a),
                 index: idx,
+                at: self.site(a, i),
             });
         }
         *cell = Some(val);
@@ -182,10 +303,16 @@ impl<'p> Machine<'p> {
                 Ok(())
             }
             Inst::Dec { reg, by } => {
-                let entry = self
-                    .regs
-                    .get_mut(&reg.0)
-                    .ok_or(ExecError::UnboundRegister(reg.0))?;
+                let entry =
+                    self.regs
+                        .get_mut(&reg.0)
+                        .ok_or_else(|| ExecError::UnboundRegister {
+                            reg: reg.0,
+                            at: Site {
+                                node: format!("p{}", reg.0 + 1),
+                                iteration: i,
+                            },
+                        })?;
                 entry.0 -= by;
                 Ok(())
             }
@@ -196,7 +323,7 @@ impl<'p> Machine<'p> {
                 srcs,
             } => {
                 if let Some(g) = guard {
-                    if !self.guard_enabled(g)? {
+                    if !self.guard_enabled(g, dest.array, i)? {
                         self.nullified += 1;
                         return Ok(());
                     }
@@ -204,10 +331,10 @@ impl<'p> Machine<'p> {
                 let dest_idx = dest.index.eval(i, self.n);
                 let mut inputs = Vec::with_capacity(srcs.len());
                 for s in srcs {
-                    inputs.push(self.read(s.array, s.index.eval(i, self.n))?);
+                    inputs.push(self.read(s.array, s.index.eval(i, self.n), dest.array, i)?);
                 }
                 let val = op.eval(&inputs, dest_idx);
-                self.write(dest.array, dest_idx, val)?;
+                self.write(dest.array, dest_idx, val, i)?;
                 self.executed += 1;
                 Ok(())
             }
@@ -269,26 +396,25 @@ pub fn execute(p: &LoopProgram) -> Result<ExecResult, ExecError> {
 }
 
 /// Execute `p` and compare every element with the direct recurrence
-/// evaluation of `g` — the paper's correctness claims, checked.
-///
-/// The per-node execution count (`n` fires per node, Theorems
-/// 4.1/4.2/4.6) is implied by [`execute`]'s completeness and
-/// double-write checks; the `debug_assert` below merely restates it.
-pub fn check_against_reference(g: &Dfg, p: &LoopProgram) -> Result<ExecResult, ExecError> {
+/// evaluation of `g`, reporting *all* differing cells — the structured
+/// variant of [`check_against_reference`] used by the differential
+/// verification oracle (`cred-verify`).
+pub fn diff_against_reference(g: &Dfg, p: &LoopProgram) -> Result<ExecResult, DiffReport> {
     assert_eq!(
         g.node_count(),
         p.arrays.len(),
         "program must cover exactly the DFG's value streams"
     );
-    let res = execute(p)?;
+    let res = execute(p).map_err(DiffReport::Exec)?;
     let reference = g.reference_execution(p.n as usize);
+    let mut cells = Vec::new();
     for v in g.node_ids() {
         #[allow(clippy::needless_range_loop)] // two parallel tables, index is clearer
         for i in 0..p.n as usize {
             let got = res.arrays[v.index()][i];
             let expected = reference[v.index()][i];
             if got != expected {
-                return Err(ExecError::Mismatch {
+                cells.push(MismatchCell {
                     array: g.node(v).name.clone(),
                     index: i as i64 + 1,
                     got,
@@ -297,12 +423,37 @@ pub fn check_against_reference(g: &Dfg, p: &LoopProgram) -> Result<ExecResult, E
             }
         }
     }
+    if !cells.is_empty() {
+        return Err(DiffReport::Values { cells });
+    }
     debug_assert_eq!(
         res.computes_executed,
         g.node_count() as u64 * p.n,
         "every node must execute exactly n times"
     );
     Ok(res)
+}
+
+/// Execute `p` and compare every element with the direct recurrence
+/// evaluation of `g` — the paper's correctness claims, checked.
+///
+/// Stops at the *first* differing cell; use [`diff_against_reference`] for
+/// the full structured report. The per-node execution count (`n` fires per
+/// node, Theorems 4.1/4.2/4.6) is implied by [`execute`]'s completeness
+/// and double-write checks.
+pub fn check_against_reference(g: &Dfg, p: &LoopProgram) -> Result<ExecResult, ExecError> {
+    diff_against_reference(g, p).map_err(|d| match d {
+        DiffReport::Exec(e) => e,
+        DiffReport::Values { cells } => {
+            let c = &cells[0];
+            ExecError::Mismatch {
+                array: c.array.clone(),
+                index: c.index,
+                got: c.got,
+                expected: c.expected,
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -340,7 +491,23 @@ mod tests {
         let body = p.body.as_mut().unwrap();
         let dup = body.body.clone();
         body.body.extend(dup);
-        assert!(matches!(execute(&p), Err(ExecError::DoubleWrite { .. })));
+        let err = execute(&p).unwrap_err();
+        match err {
+            ExecError::DoubleWrite { array, index, at } => {
+                // The duplicated A-instance trips first, on iteration 1,
+                // and the fault site names the instruction that ran.
+                assert_eq!(array, "A");
+                assert_eq!(index, 1);
+                assert_eq!(
+                    at,
+                    Site {
+                        node: "A".into(),
+                        iteration: 1
+                    }
+                );
+            }
+            other => panic!("expected DoubleWrite, got {other:?}"),
+        }
     }
 
     #[test]
@@ -358,10 +525,14 @@ mod tests {
         let g = tiny();
         let mut p = original_program(&g, 3);
         p.body.as_mut().unwrap().hi = 4; // run one iteration too many
-        assert!(matches!(
-            execute(&p),
-            Err(ExecError::OutOfRangeWrite { .. })
-        ));
+        match execute(&p).unwrap_err() {
+            ExecError::OutOfRangeWrite { array, index, at } => {
+                assert_eq!(array, "A");
+                assert_eq!(index, 4);
+                assert_eq!(at.iteration, 4);
+            }
+            other => panic!("expected OutOfRangeWrite, got {other:?}"),
+        }
     }
 
     #[test]
@@ -370,7 +541,21 @@ mod tests {
         let g = tiny();
         let mut p = original_program(&g, 3);
         p.body.as_mut().unwrap().body.reverse();
-        assert!(matches!(execute(&p), Err(ExecError::UseBeforeDef { .. })));
+        match execute(&p).unwrap_err() {
+            ExecError::UseBeforeDef { array, index, at } => {
+                // B's instance reads A[1] before A's instance wrote it.
+                assert_eq!(array, "A");
+                assert_eq!(index, 1);
+                assert_eq!(
+                    at,
+                    Site {
+                        node: "B".into(),
+                        iteration: 1
+                    }
+                );
+            }
+            other => panic!("expected UseBeforeDef, got {other:?}"),
+        }
     }
 
     #[test]
@@ -394,7 +579,16 @@ mod tests {
             reg: PredId(9),
             by: 1,
         });
-        assert_eq!(execute(&p).unwrap_err(), ExecError::UnboundRegister(9));
+        assert_eq!(
+            execute(&p).unwrap_err(),
+            ExecError::UnboundRegister {
+                reg: 9,
+                at: Site {
+                    node: "p10".into(),
+                    iteration: 1
+                }
+            }
+        );
     }
 
     #[test]
@@ -538,18 +732,43 @@ mod tests {
             check_against_reference(&g, &p),
             Err(ExecError::Mismatch { .. })
         ));
+        // The structured diff lists every differing cell of both arrays.
+        match diff_against_reference(&g, &p) {
+            Err(DiffReport::Values { cells }) => {
+                assert!(!cells.is_empty());
+                assert!(cells.iter().all(|c| c.got != c.expected));
+            }
+            other => panic!("expected Values diff, got {other:?}"),
+        }
     }
 
     #[test]
     fn error_display_strings() {
+        let at = Site {
+            node: "A".into(),
+            iteration: 5,
+        };
         let e = ExecError::OutOfRangeWrite {
             array: "A".into(),
             index: 12,
+            at: at.clone(),
         };
-        assert_eq!(e.to_string(), "out-of-range write A[12]");
+        assert_eq!(e.to_string(), "out-of-range write A[12] (at A, i = 5)");
         assert_eq!(
-            ExecError::UnboundRegister(0).to_string(),
-            "register p1 never setup"
+            ExecError::UnboundRegister { reg: 0, at }.to_string(),
+            "register p1 never setup (at A, i = 5)"
+        );
+        let d = DiffReport::Values {
+            cells: vec![MismatchCell {
+                array: "B".into(),
+                index: 2,
+                got: 7,
+                expected: 9,
+            }],
+        };
+        assert_eq!(
+            d.to_string(),
+            "1 cell(s) differ from reference; B[2] = 7, reference says 9"
         );
     }
 }
