@@ -6,6 +6,7 @@
 //! credc explore  <file.loop|dir> [options]        design-space exploration
 //! credc schedule <file.loop> [--alu N] [--mul N]  rotation scheduling
 //! credc verify   [options]                        differential fuzzing
+//! credc chaos    [options]                        fault-injection replay
 //! ```
 //!
 //! Options for `reduce`:
@@ -19,19 +20,39 @@
 //!   --max-unfold F  largest factor to consider (default 4)
 //!   --parallel T    worker threads for the memoized sweep (default 1)
 //!   --json          emit the machine-readable suite report instead of tables
+//!   --deadline-ms D wall-clock budget for the sweep's solves; on
+//!                   exhaustion the sweep degrades (reference solver or
+//!                   truncated coverage) instead of hanging
+//!   --strict        exit 2 when any point degraded
+//!   --degraded-ok   exit 0 on degradations (mutually exclusive with
+//!                   --strict); either way degradations are printed
 //! Options for `verify` (see `cred-verify`; exit code 1 on any mismatch):
 //!   --cases N       random cases to draw (default 200)
 //!   --seed S        seed of the deterministic case stream (default 0)
 //!   --shrink        minimize each failure before reporting it
 //!   --corpus DIR    replay DIR/*.case first; with --shrink, save new
 //!                   shrunk failures there
+//! Options for `chaos` (replay the oracle under seeded fault plans; exit
+//! code 1 on any silent corruption — degradations and isolated panics
+//! are the expected outcome under injection):
+//!   --cases N       fault plans to replay (default 100)
+//!   --seed S        seed of the case *and* plan streams (default 0)
+//!
+//! Exit codes: 0 success, 1 error/failure, 2 degraded (under `--strict`).
 
 use cred_codegen::pretty::render;
 use cred_codegen::DecMode;
 use cred_core::{CodeSizeReducer, ReducerConfig};
 use cred_dfg::{algo, Dfg};
+use cred_resilience::Budget;
 use cred_schedule::{list_schedule, rotation_schedule, FuConfig};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Exit code for "the answer is correct but something gave way on the
+/// road there" (degraded sweep under `--strict`). Distinct from plain
+/// failure so scripts can tell the two apart.
+const EXIT_DEGRADED: u8 = 2;
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("credc: {msg}");
@@ -48,15 +69,16 @@ impl Args {
         let mut it = raw.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = if matches!(name, "print" | "json" | "shrink") {
-                    None
-                } else {
-                    Some(
-                        it.next()
-                            .ok_or_else(|| format!("--{name} needs a value"))?
-                            .clone(),
-                    )
-                };
+                let value =
+                    if matches!(name, "print" | "json" | "shrink" | "strict" | "degraded-ok") {
+                        None
+                    } else {
+                        Some(
+                            it.next()
+                                .ok_or_else(|| format!("--{name} needs a value"))?
+                                .clone(),
+                        )
+                    };
                 flags.push((name.to_string(), value));
             } else {
                 return Err(format!("unexpected argument '{a}'"));
@@ -89,24 +111,24 @@ fn load(path: &str) -> Result<Dfg, String> {
     cred_lang::parse(&src).map_err(|e| format!("{path}: {e}"))
 }
 
-fn cmd_analyze(g: &Dfg) {
+fn cmd_analyze(g: &Dfg) -> Result<(), String> {
     println!(
         "nodes: {}   edges: {}   delays: {}",
         g.node_count(),
         g.edge_count(),
         g.total_delays()
     );
-    println!(
-        "cycle period (unretimed): {}",
-        algo::cycle_period(g).unwrap()
-    );
+    let period = algo::cycle_period(g)
+        .ok_or_else(|| "graph has a zero-delay cycle (not a legal DFG)".to_string())?;
+    println!("cycle period (unretimed): {period}");
     match algo::iteration_bound(g) {
         Some(b) => println!("iteration bound: {b} (= {:.3})", b.to_f64()),
         None => println!("iteration bound: none (acyclic)"),
     }
     let opt = cred_retime::min_period_retiming(g);
     println!("minimum cycle period by retiming: {}", opt.period);
-    let r = cred_retime::span::min_span_retiming(g, opt.period).unwrap();
+    let r = cred_retime::span::min_span_retiming(g, opt.period)
+        .ok_or_else(|| format!("period {} unexpectedly span-infeasible", opt.period))?;
     let r = cred_retime::span::compact_values(g, opt.period, &r);
     println!(
         "M_r (pipeline depth): {}   conditional registers: {}",
@@ -118,6 +140,7 @@ fn cmd_analyze(g: &Dfg) {
         print!(" {}={}", g.node(v).name, r.get(v));
     }
     println!();
+    Ok(())
 }
 
 fn cmd_reduce(g: Dfg, args: &Args) -> Result<(), String> {
@@ -193,6 +216,11 @@ fn print_points(points: &[cred_explore::TradeoffPoint]) {
 /// sharing one plan cache across the suite.
 fn cmd_explore_suite(dir: &std::path::Path, args: &Args) -> Result<(), String> {
     let (n, max_f, threads) = explore_params(args)?;
+    for flag in ["deadline-ms", "strict", "degraded-ok"] {
+        if args.has(flag) {
+            return Err(format!("--{flag} is not supported for directory sweeps"));
+        }
+    }
     let kernels = cred_explore::suite::load_kernels(dir).map_err(|e| e.to_string())?;
     if kernels.is_empty() {
         return Err(format!("{}: no .loop kernels found", dir.display()));
@@ -214,8 +242,38 @@ fn cmd_explore_suite(dir: &std::path::Path, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explore(path: &str, g: &Dfg, args: &Args) -> Result<(), String> {
+/// Resilience options of `explore`: wall-clock budget plus how degraded
+/// runs map to exit codes. `--strict` and `--degraded-ok` are mutually
+/// exclusive; without either, degradations are printed and exit 0 (the
+/// answers are still bit-identical, only the road there gave way).
+struct ResilienceOpts {
+    budget: Budget,
+    strict: bool,
+}
+
+fn resilience_opts(args: &Args) -> Result<ResilienceOpts, String> {
+    if args.has("strict") && args.has("degraded-ok") {
+        return Err("--strict and --degraded-ok are mutually exclusive".into());
+    }
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = args.get("deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--deadline-ms: bad number '{ms}'"))?;
+        if ms == 0 {
+            return Err("--deadline-ms must be at least 1".into());
+        }
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    Ok(ResilienceOpts {
+        budget,
+        strict: args.has("strict"),
+    })
+}
+
+fn cmd_explore(path: &str, g: &Dfg, args: &Args) -> Result<ExitCode, String> {
     let (n, max_f, threads) = explore_params(args)?;
+    let opts = resilience_opts(args)?;
     if args.has("json") {
         let name = std::path::Path::new(path)
             .file_stem()
@@ -224,14 +282,37 @@ fn cmd_explore(path: &str, g: &Dfg, args: &Args) -> Result<(), String> {
         let kernels = vec![(name, g.clone())];
         let report = cred_explore::suite::explore_suite(&kernels, max_f, n, DecMode::Bulk, threads);
         print!("{}", report.to_json());
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
-    let points = if threads > 1 {
-        cred_explore::par_sweep(g, max_f, n, DecMode::Bulk, threads)
-    } else {
-        cred_explore::sweep(g, max_f, n, DecMode::Bulk)
-    };
+    let cache = cred_explore::cache::SweepCache::new();
+    let report = cred_explore::par_sweep_resilient(
+        g,
+        max_f,
+        n,
+        DecMode::Bulk,
+        threads,
+        &cache,
+        &opts.budget,
+    );
+    let points = report.points();
     print_points(&points);
+    for o in report.degraded() {
+        if let cred_explore::PointStatus::Degraded(ev) = &o.status {
+            eprintln!("credc: degraded: {ev}");
+        }
+    }
+    for o in report.failed() {
+        if let cred_explore::PointStatus::Failed(msg) = &o.status {
+            eprintln!("credc: failed: f = {}: {msg}", o.f);
+        }
+    }
+    if !report.failed().is_empty() {
+        return Err(format!(
+            "{} of {} sweep point(s) failed",
+            report.failed().len(),
+            max_f
+        ));
+    }
     if let Some(budget) = args.get("budget") {
         let budget: usize = budget
             .parse()
@@ -256,7 +337,14 @@ fn cmd_explore(path: &str, g: &Dfg, args: &Args) -> Result<(), String> {
             None => println!("no configuration fits {regs} registers"),
         }
     }
-    Ok(())
+    let degraded = report.degraded().len();
+    if degraded > 0 {
+        eprintln!("credc: {degraded} of {max_f} sweep point(s) degraded");
+        if opts.strict {
+            return Ok(ExitCode::from(EXIT_DEGRADED));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_schedule(g: &Dfg, args: &Args) -> Result<(), String> {
@@ -339,14 +427,57 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `credc chaos`: replay the differential oracle under seeded fault
+/// plans. Degradations and isolated panics are the *expected* outcome
+/// under injection; the only failure is a silent corruption (a run that
+/// passed with answers differing from its fault-free baseline).
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    let cases = args.get_u64("cases", 100)? as usize;
+    let seed = args.get_u64("seed", 0)?;
+    let report = cred_verify::chaos_suite(&cred_verify::ChaosConfig {
+        cases,
+        seed,
+        ..cred_verify::ChaosConfig::default()
+    });
+    println!(
+        "chaos: {} fault plan(s) replayed (seed {seed}): {} clean, {} degraded, \
+         {} faulted (isolated), {} silent corruption(s)",
+        report.cases_run,
+        report.clean,
+        report.degraded,
+        report.faulted,
+        report.corruptions().len()
+    );
+    for c in &report.incidents {
+        if c.outcome.is_corruption() {
+            eprintln!("CORRUPTION {c}");
+        }
+    }
+    if !report.is_sound() {
+        return Err(format!(
+            "{} silent corruption(s) — a fault changed an answer without raising an error",
+            report.corruptions().len()
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
-        return fail("usage: credc <analyze|reduce|explore|schedule|verify> <file.loop> [options]");
+        return fail(
+            "usage: credc <analyze|reduce|explore|schedule|verify|chaos> <file.loop> [options]",
+        );
     };
-    // `verify` fuzzes generated cases; it takes options but no input file.
-    if cmd == "verify" {
-        return match Args::parse(rest).and_then(|args| cmd_verify(&args)) {
+    // `verify` and `chaos` generate their own cases; they take options
+    // but no input file.
+    if cmd == "verify" || cmd == "chaos" {
+        let run = if cmd == "verify" {
+            cmd_verify
+        } else {
+            cmd_chaos
+        };
+        return match Args::parse(rest).and_then(|args| run(&args)) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e),
         };
@@ -369,17 +500,14 @@ fn main() -> ExitCode {
         Err(e) => return fail(&e),
     };
     let result = match cmd.as_str() {
-        "analyze" => {
-            cmd_analyze(&g);
-            Ok(())
-        }
-        "reduce" => cmd_reduce(g, &args),
+        "analyze" => cmd_analyze(&g).map(|()| ExitCode::SUCCESS),
+        "reduce" => cmd_reduce(g, &args).map(|()| ExitCode::SUCCESS),
         "explore" => cmd_explore(path, &g, &args),
-        "schedule" => cmd_schedule(&g, &args),
+        "schedule" => cmd_schedule(&g, &args).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown command '{other}'")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => fail(&e),
     }
 }

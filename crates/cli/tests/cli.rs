@@ -39,3 +39,95 @@ fn credc_binary_runs() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+fn run(args: &[&str]) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_credc"))
+        .args(args)
+        .output()
+        .expect("credc runs")
+}
+
+/// One-line typed diagnostic, exit code 1, and no panic backtrace.
+fn assert_clean_failure(out: &std::process::Output, needle: &str) {
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains(needle), "stderr missing '{needle}': {err}");
+    assert!(err.starts_with("credc: "), "untyped diagnostic: {err}");
+    assert!(!err.contains("panicked"), "panic leaked to stderr: {err}");
+    assert_eq!(err.trim_end().lines().count(), 1, "not one line: {err}");
+}
+
+#[test]
+fn malformed_kernel_fails_with_one_line_diagnostic() {
+    let dir = std::env::temp_dir().join(format!("credc-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("garbage.loop");
+    std::fs::write(&bad, "this is not a loop kernel {{{").unwrap();
+    let badpath = bad.to_str().unwrap();
+    for cmd in ["analyze", "reduce", "explore", "schedule"] {
+        assert_clean_failure(&run(&[cmd, badpath]), "garbage.loop");
+    }
+    // The suite loader surfaces the same parse failure for directories.
+    assert_clean_failure(&run(&["explore", dir.to_str().unwrap()]), "garbage.loop");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_flag_combinations_fail_with_typed_errors() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let kernel = format!("{root}/kernels/figure3.loop");
+    let kernels_dir = format!("{root}/kernels");
+    assert_clean_failure(
+        &run(&["explore", &kernel, "--strict", "--degraded-ok"]),
+        "mutually exclusive",
+    );
+    assert_clean_failure(
+        &run(&["explore", &kernel, "--deadline-ms", "nope"]),
+        "bad number",
+    );
+    assert_clean_failure(
+        &run(&["explore", &kernel, "--deadline-ms", "0"]),
+        "--deadline-ms must be at least 1",
+    );
+    assert_clean_failure(
+        &run(&["explore", &kernels_dir, "--deadline-ms", "50"]),
+        "not supported for directory sweeps",
+    );
+    assert_clean_failure(&run(&["explore", &kernel, "--max-unfold"]), "needs a value");
+    assert_clean_failure(&run(&["reduce", &kernel, "--mode", "sideways"]), "sideways");
+    assert_clean_failure(&run(&["frobnicate", &kernel]), "unknown command");
+}
+
+#[test]
+fn explore_accepts_resilience_flags() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let kernel = format!("{root}/kernels/figure3.loop");
+    // A generous deadline on a tiny kernel: nothing degrades, exit 0,
+    // and the table is identical to a plain sweep.
+    let plain = run(&["explore", &kernel, "--max-unfold", "3"]);
+    let budgeted = run(&[
+        "explore",
+        &kernel,
+        "--max-unfold",
+        "3",
+        "--deadline-ms",
+        "60000",
+        "--strict",
+    ]);
+    assert!(budgeted.status.success(), "{budgeted:?}");
+    assert_eq!(plain.stdout, budgeted.stdout);
+    // --degraded-ok alone is accepted too.
+    let ok = run(&["explore", &kernel, "--degraded-ok"]);
+    assert!(ok.status.success(), "{ok:?}");
+}
+
+#[test]
+fn chaos_subcommand_is_sound_and_quiet() {
+    let out = run(&["chaos", "--cases", "15", "--seed", "0"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 silent corruption(s)"), "{stdout}");
+    // Isolated injected panics must not spray backtraces.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}

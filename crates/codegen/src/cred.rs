@@ -55,6 +55,9 @@ pub(crate) fn assign_registers(r: &Retiming) -> BTreeMap<i64, PredId> {
 /// ([`DecMode::Bulk`]), with `P = |N_r|` registers — identical to the
 /// register count of the un-unfolded retimed loop (Theorem 4.7).
 pub fn cred_retime_unfold(g: &Dfg, r: &Retiming, f: usize, n: u64, mode: DecMode) -> LoopProgram {
+    // No error channel here: an injected `Error` escalates to a panic,
+    // which the resilient sweep isolates per point.
+    cred_resilience::failpoint::hit_infallible(cred_resilience::failpoint::sites::CODEGEN_CRED);
     assert!(f >= 1);
     assert!(r.is_normalized(), "retiming must be normalized");
     assert!(r.is_legal(g), "retiming must be legal");

@@ -25,6 +25,9 @@ use cred_unfold::Unfolded;
 /// tables use `Q_f = (n mod f) * L`, an `|M_r mod f|`-slot discrepancy
 /// documented in EXPERIMENTS.md.
 pub fn retime_unfold_program(g: &Dfg, r: &Retiming, f: usize, n: u64) -> LoopProgram {
+    // No error channel here: an injected `Error` escalates to a panic,
+    // which the resilient sweep isolates per point.
+    cred_resilience::failpoint::hit_infallible(cred_resilience::failpoint::sites::CODEGEN_UNFOLD);
     assert!(f >= 1);
     assert!(r.is_normalized(), "retiming must be normalized");
     assert!(r.is_legal(g), "retiming must be legal");

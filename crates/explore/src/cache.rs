@@ -1,4 +1,5 @@
-//! Per-sweep memoization of the expensive retiming passes.
+//! Per-sweep memoization of the expensive retiming passes, hardened
+//! against runaway solves, worker panics, and cache corruption.
 //!
 //! Every trade-off point needs three `O(V^3)` passes over the unfolded
 //! graph (period search, span minimization, register compaction), each of
@@ -13,18 +14,39 @@
 //!   another thread, another sweep, or a constrained search revisiting a
 //!   factor — returns the stored plan without touching the solver.
 //!
+//! On top of the memoization, this module carries the explore side of the
+//! resilience layer (`cred-resilience`):
+//!
+//! * [`compute_plan_budgeted`] runs the warm-started solver under a
+//!   [`Budget`] and **degrades** to the dense [`ConstraintSystem`]
+//!   reference solver when the fast path exhausts its budget or panics —
+//!   recorded as a [`DegradationEvent`] in the returned [`PlanSource`],
+//!   never a silent wrong answer (the reference is bit-identical by the
+//!   solver's differential tests, just slower);
+//! * [`SweepCache`] is bounded (LRU eviction above
+//!   [`SweepCache::with_capacity`]), recovers from lock poisoning with
+//!   clear-and-continue semantics instead of panicking every later
+//!   caller, and verifies a stored plan's checksum on every hit, evicting
+//!   and recomputing on mismatch (self-healing).
+//!
 //! The cached plan holds only the *decisions* (projected retiming and
 //! achieved period); code generation is deterministic given those, so
 //! points produced from a cached plan are identical to freshly computed
 //! ones, bit for bit.
+//!
+//! [`ConstraintSystem`]: cred_retime::ConstraintSystem
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use cred_dfg::algo::WdMatrices;
 use cred_dfg::Dfg;
-use cred_retime::span::compact_values_wd;
+use cred_resilience::failpoint::{self, sites};
+use cred_resilience::{panic_message, Budget, DegradationEvent, DegradeCause, Exhausted};
+use cred_retime::minperiod::min_period_retiming_reference;
+use cred_retime::span::{compact_values_wd, min_span_retiming_reference};
 use cred_retime::{RetimeSolver, Retiming};
 use cred_unfold::orders::project_retiming;
 use cred_unfold::unfold;
@@ -43,6 +65,47 @@ pub struct FactorPlan {
     pub period: u64,
 }
 
+impl FactorPlan {
+    /// Content checksum (FNV-1a over the retiming values and the period).
+    /// Stored next to every cache entry and re-verified on each hit; a
+    /// mismatch marks the entry corrupted and triggers self-healing
+    /// eviction.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(self.period);
+        mix(self.projected.len() as u64);
+        for &v in self.projected.values() {
+            mix(v as u64);
+        }
+        h
+    }
+}
+
+/// How a plan was obtained: the warm-started fast solver, or the dense
+/// reference solver after the fast path degraded. Both produce
+/// bit-identical plans; the distinction exists so degradations surface in
+/// sweep reports and exit codes instead of disappearing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanSource {
+    /// The warm-started SPFA solver finished within budget.
+    Solver,
+    /// The fast path was abandoned and the dense Bellman–Ford reference
+    /// solver produced the plan. The event records why.
+    Reference(DegradationEvent),
+}
+
+impl PlanSource {
+    /// True when the fast path delivered the plan.
+    pub fn is_fast(&self) -> bool {
+        matches!(self, PlanSource::Solver)
+    }
+}
+
 /// Compute a [`FactorPlan`] with a single shared W/D computation and one
 /// warm-started solver.
 ///
@@ -54,11 +117,42 @@ pub struct FactorPlan {
 /// minimization — the span pass starts from the search's final feasible
 /// fixpoint instead of re-solving the period system.
 pub fn compute_plan(g: &Dfg, f: usize) -> FactorPlan {
+    match plan_fast(g, f, &Budget::unlimited()) {
+        Ok(plan) => plan,
+        Err(e) => panic!("unlimited-budget plan cannot exhaust: {e}"),
+    }
+}
+
+/// The budgeted fast path: warm-started solver pipeline, every pass
+/// charging the same budget.
+fn plan_fast(g: &Dfg, f: usize, budget: &Budget) -> Result<FactorPlan, Exhausted> {
+    failpoint::hit(sites::EXPLORE_PLAN_FAST).map_err(|e| Exhausted::Injected { site: e.site })?;
+    budget.check()?;
     let u = unfold(g, f);
     let wd = WdMatrices::compute(&u.graph);
     let mut solver = RetimeSolver::new(&u.graph, &wd);
-    let opt = solver.min_period();
-    let r_f = solver.min_span_from_base(opt.period, &opt.retiming);
+    let opt = solver.min_period_budgeted(budget)?;
+    let r_f = solver.min_span_from_base_budgeted(opt.period, &opt.retiming, budget)?;
+    let r_f = compact_values_wd(&u.graph, &wd, opt.period, &r_f);
+    let projected = project_retiming(&u, &r_f);
+    Ok(FactorPlan {
+        projected,
+        period: opt.period,
+    })
+}
+
+/// The degradation fallback: the dense reference pipeline (full
+/// [`cred_retime::ConstraintSystem`] + edge-list Bellman–Ford per pass).
+/// Guaranteed to terminate in `O(V * E)` rounds per solve — no warm-start
+/// state, no SPFA heuristics — and bit-identical to the fast path by the
+/// solver's differential tests.
+fn plan_reference(g: &Dfg, f: usize) -> FactorPlan {
+    failpoint::hit_infallible(sites::EXPLORE_PLAN_REFERENCE);
+    let u = unfold(g, f);
+    let wd = WdMatrices::compute(&u.graph);
+    let opt = min_period_retiming_reference(&u.graph, &wd);
+    let r_f = min_span_retiming_reference(&u.graph, &wd, opt.period)
+        .expect("the optimal period is always span-feasible");
     let r_f = compact_values_wd(&u.graph, &wd, opt.period, &r_f);
     let projected = project_retiming(&u, &r_f);
     FactorPlan {
@@ -67,40 +161,190 @@ pub fn compute_plan(g: &Dfg, f: usize) -> FactorPlan {
     }
 }
 
-/// Thread-safe memo table for [`FactorPlan`]s, keyed by
-/// `(Dfg::fingerprint(), f)`.
+/// Compute a plan under `budget`, degrading gracefully.
+///
+/// The ladder:
+///
+/// 1. run the warm-started solver pipeline under `budget`;
+/// 2. if it exhausts (deadline, work units, injected fault) **or
+///    panics**, fall back to the dense reference solver and record a
+///    [`DegradationEvent`] in the returned [`PlanSource`];
+/// 3. cancellation is never degraded around — the caller asked the whole
+///    operation to stop, so `Err(Exhausted::Cancelled)` propagates.
+///
+/// A panic in the *reference* path (nothing left to fall back to)
+/// propagates to the caller; [`crate::par_sweep_resilient`] isolates it
+/// per point.
+pub fn compute_plan_budgeted(
+    g: &Dfg,
+    f: usize,
+    budget: &Budget,
+) -> Result<(FactorPlan, PlanSource), Exhausted> {
+    let cause = match catch_unwind(AssertUnwindSafe(|| plan_fast(g, f, budget))) {
+        Ok(Ok(plan)) => return Ok((plan, PlanSource::Solver)),
+        Ok(Err(Exhausted::Cancelled)) => return Err(Exhausted::Cancelled),
+        Ok(Err(e)) => DegradeCause::Exhausted(e),
+        Err(payload) => DegradeCause::Panicked(panic_message(payload.as_ref())),
+    };
+    let event = DegradationEvent {
+        site: format!("explore.plan f={f}"),
+        cause,
+    };
+    Ok((plan_reference(g, f), PlanSource::Reference(event)))
+}
+
+/// One stored plan plus its integrity and recency metadata.
+#[derive(Debug)]
+struct CacheEntry {
+    plan: Arc<FactorPlan>,
+    /// [`FactorPlan::checksum`] captured at insert time.
+    checksum: u64,
+    /// Logical timestamp of the last hit (for LRU eviction).
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    plans: HashMap<(u64, usize), CacheEntry>,
+    /// Monotonic logical clock driving `last_used`.
+    tick: u64,
+}
+
+/// Thread-safe, bounded, self-healing memo table for [`FactorPlan`]s,
+/// keyed by `(Dfg::fingerprint(), f)`.
 ///
 /// Shared by reference between the workers of a [`crate::par_sweep`] and,
 /// optionally, across whole sweeps (the suite runner keeps one cache for
 /// all kernels; fingerprints keep their entries apart). Two threads racing
 /// on the same key may both compute the plan; the first insert wins and
 /// both callers observe the same `Arc`, so results stay deterministic.
+///
+/// Robustness properties:
+///
+/// * **bounded** — at most `capacity` entries (unbounded by default);
+///   inserting past the bound evicts the least-recently-used entry and
+///   bumps [`evictions`](Self::evictions);
+/// * **poison-tolerant** — a worker that panics while holding the lock
+///   poisons it once; the next caller recovers the lock and clears the
+///   table (a panicking writer may have left it mid-update), counted by
+///   [`poison_recoveries`](Self::poison_recoveries), instead of
+///   propagating panics to every later query forever;
+/// * **self-healing** — every hit re-verifies the entry's checksum; a
+///   corrupted entry is evicted and recomputed instead of served.
 #[derive(Debug, Default)]
 pub struct SweepCache {
-    plans: Mutex<HashMap<(u64, usize), Arc<FactorPlan>>>,
+    inner: Mutex<CacheInner>,
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    poison_recoveries: AtomicU64,
 }
 
 impl SweepCache {
-    /// Fresh, empty cache.
+    /// Fresh, empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Fresh cache holding at most `capacity` plans (LRU eviction).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a zero-capacity cache cannot memoize");
+        SweepCache {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// Lock the table, recovering from poisoning: a panic under the lock
+    /// (one crashed worker) clears the table and un-poisons the mutex, so
+    /// the cache keeps serving — conservatively cold — instead of
+    /// bricking every later query.
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| {
+            self.inner.clear_poison();
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            let mut guard = poisoned.into_inner();
+            guard.plans.clear();
+            guard
+        })
+    }
+
     /// The plan for `(g, f)`, computed on first use and memoized after.
     pub fn plan(&self, g: &Dfg, f: usize) -> Arc<FactorPlan> {
+        match self.plan_budgeted(g, f, &Budget::unlimited()) {
+            Ok((plan, _)) => plan,
+            Err(e) => panic!("unlimited-budget plan cannot exhaust: {e}"),
+        }
+    }
+
+    /// The plan for `(g, f)` under `budget`, with the degradation ladder
+    /// of [`compute_plan_budgeted`] on the miss path. Cache hits never
+    /// degrade: the stored plan is bit-identical whichever solver
+    /// produced it, so a hit reports [`PlanSource::Solver`].
+    pub fn plan_budgeted(
+        &self,
+        g: &Dfg,
+        f: usize,
+        budget: &Budget,
+    ) -> Result<(Arc<FactorPlan>, PlanSource), Exhausted> {
         let key = (g.fingerprint(), f);
-        if let Some(p) = self.plans.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(p);
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.plans.get_mut(&key) {
+                if entry.plan.checksum() == entry.checksum {
+                    entry.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(&entry.plan), PlanSource::Solver));
+                }
+                // Self-healing: the stored plan no longer matches its
+                // insert-time checksum. Serving it would be silent
+                // corruption; evict and fall through to recompute.
+                inner.plans.remove(&key);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // The lock is NOT held while solving: plans can take milliseconds,
         // and other workers should keep making progress on other factors.
-        let plan = Arc::new(compute_plan(g, f));
-        let mut plans = self.plans.lock().unwrap();
-        Arc::clone(plans.entry(key).or_insert(plan))
+        let (plan, source) = compute_plan_budgeted(g, f, budget)?;
+        let plan = Arc::new(plan);
+        let checksum = plan.checksum();
+        let mut inner = self.lock();
+        // A chaos plan can panic here, *while the lock is held* — that is
+        // exactly the scenario the poison recovery above exists for.
+        failpoint::hit_infallible(sites::EXPLORE_CACHE_INSERT);
+        inner.tick += 1;
+        let tick = inner.tick;
+        let stored = match inner.plans.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(&e.get().plan),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(CacheEntry {
+                    plan: Arc::clone(&plan),
+                    checksum,
+                    last_used: tick,
+                });
+                plan
+            }
+        };
+        if let Some(cap) = self.capacity {
+            while inner.plans.len() > cap {
+                let oldest = inner
+                    .plans
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                    .expect("len > cap >= 1 implies non-empty");
+                inner.plans.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok((stored, source))
     }
 
     /// Lookups answered from the memo table.
@@ -113,14 +357,41 @@ impl SweepCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries dropped — by the LRU capacity bound or by checksum
+    /// self-healing.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Times the lock was recovered (and the table cleared) after a
+    /// worker panicked while holding it.
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct `(fingerprint, f)` plans currently stored.
     pub fn len(&self) -> usize {
-        self.plans.lock().unwrap().len()
+        self.lock().plans.len()
     }
 
     /// `true` when no plan has been stored yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Test hook: overwrite the stored checksum of `(g, f)`'s entry so
+    /// the next hit sees a corrupted entry. Returns `false` when the
+    /// entry is absent. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn corrupt_entry_for_test(&self, g: &Dfg, f: usize) -> bool {
+        let mut inner = self.lock();
+        match inner.plans.get_mut(&(g.fingerprint(), f)) {
+            Some(e) => {
+                e.checksum ^= 0xDEAD_BEEF;
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -142,6 +413,8 @@ mod tests {
         let _ = cache.plan(&g, 3);
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.poison_recoveries(), 0);
     }
 
     #[test]
@@ -172,5 +445,96 @@ mod tests {
             assert_eq!(plan.period, opt.period, "f = {f}");
             assert_eq!(plan.projected, project_retiming(&u, &r_f), "f = {f}");
         }
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let g = gen::chain_with_feedback(6, 3);
+        let cache = SweepCache::with_capacity(2);
+        cache.plan(&g, 1);
+        cache.plan(&g, 2);
+        // Touch f = 1 so f = 2 is the LRU entry.
+        cache.plan(&g, 1);
+        cache.plan(&g, 3); // evicts f = 2
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // f = 1 survived (recently used): hitting it is free.
+        let hits = cache.hits();
+        cache.plan(&g, 1);
+        assert_eq!(cache.hits(), hits + 1);
+        // f = 2 was evicted: it is a miss again, and still correct.
+        let misses = cache.misses();
+        let again = cache.plan(&g, 2);
+        assert_eq!(cache.misses(), misses + 1);
+        assert_eq!(*again, compute_plan(&g, 2));
+    }
+
+    #[test]
+    fn corrupted_entry_is_evicted_and_recomputed() {
+        let g = gen::chain_with_feedback(6, 3);
+        let cache = SweepCache::new();
+        let original = cache.plan(&g, 2);
+        assert!(cache.corrupt_entry_for_test(&g, 2));
+        // The next lookup must detect the checksum mismatch, evict, and
+        // recompute — never serve the corrupted entry silently.
+        let healed = cache.plan(&g, 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(*healed, *original, "healed entry is the true plan");
+        // Entry is healthy again afterwards.
+        let hits = cache.hits();
+        cache.plan(&g, 2);
+        assert_eq!(cache.hits(), hits + 1);
+    }
+
+    #[test]
+    fn budgeted_plan_reports_degradation_instead_of_failing() {
+        let g = gen::chain_with_feedback(7, 3);
+        // A 0-unit work budget exhausts inside the first SPFA probe; the
+        // ladder must fall back to the reference solver and say so.
+        let budget = Budget::unlimited().with_work_limit(0);
+        let cache = SweepCache::new();
+        let (plan, source) = cache.plan_budgeted(&g, 2, &budget).unwrap();
+        match &source {
+            PlanSource::Reference(event) => {
+                assert!(
+                    matches!(
+                        event.cause,
+                        DegradeCause::Exhausted(Exhausted::WorkUnits { .. })
+                    ),
+                    "{event}"
+                );
+            }
+            PlanSource::Solver => panic!("0-unit budget cannot finish the fast path"),
+        }
+        // Degraded, but bit-identical to the unconstrained plan.
+        assert_eq!(*plan, compute_plan(&g, 2));
+        // And the *cached* plan now serves fast-path hits.
+        let (_, source) = cache.plan_budgeted(&g, 2, &budget).unwrap();
+        assert!(source.is_fast(), "cache hit must not re-degrade");
+    }
+
+    #[test]
+    fn cancellation_propagates_without_fallback() {
+        let g = gen::chain_with_feedback(5, 2);
+        let tok = cred_resilience::CancelToken::new();
+        tok.cancel();
+        let budget = Budget::unlimited().with_cancel(tok);
+        let cache = SweepCache::new();
+        assert_eq!(
+            cache.plan_budgeted(&g, 1, &budget).unwrap_err(),
+            Exhausted::Cancelled
+        );
+        assert!(cache.is_empty(), "cancelled lookups store nothing");
+    }
+
+    #[test]
+    fn checksum_is_content_determined() {
+        let g = gen::chain_with_feedback(6, 3);
+        let a = compute_plan(&g, 2);
+        let b = compute_plan(&g, 2);
+        assert_eq!(a.checksum(), b.checksum());
+        let c = compute_plan(&g, 3);
+        assert_ne!(a.checksum(), c.checksum(), "distinct plans, distinct sums");
     }
 }

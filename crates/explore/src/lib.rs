@@ -25,12 +25,14 @@
 pub mod cache;
 pub mod suite;
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cred_codegen::cred::cred_retime_unfold;
 use cred_codegen::unfolded::retime_unfold_program;
 use cred_codegen::DecMode;
 use cred_dfg::{Dfg, Ratio};
+use cred_resilience::{panic_message, Budget, DegradationEvent, Exhausted};
 use cred_retime::span::{
     compact_values, compact_values_wd, min_span_retiming, min_span_retiming_with,
 };
@@ -38,7 +40,7 @@ use cred_retime::{min_period_retiming, min_period_retiming_with};
 use cred_unfold::orders::project_retiming;
 use cred_unfold::unfold;
 
-use cache::{FactorPlan, SweepCache};
+use cache::{FactorPlan, PlanSource, SweepCache};
 
 /// One evaluated configuration of the (retime, unfold, CRED) pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -172,6 +174,173 @@ pub fn par_sweep_with(
     });
     tagged.sort_unstable_by_key(|&(f, _)| f);
     tagged.into_iter().map(|(_, p)| p).collect()
+}
+
+/// How one unfolding factor fared in a [`par_sweep_resilient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointStatus {
+    /// The fast path produced the point within budget.
+    Ok,
+    /// The point exists but something gave way on the road there — the
+    /// fast solver degraded to the reference solver, or the budget cut
+    /// this factor off before any solver ran (then there is no point,
+    /// only the event).
+    Degraded(DegradationEvent),
+    /// The worker panicked even on the fallback path; the panic was
+    /// isolated to this factor and the rest of the sweep is unaffected.
+    Failed(String),
+}
+
+/// One factor's outcome: its status plus the point, when one exists.
+/// `point` is `Some` for [`PointStatus::Ok`] and for degradations that
+/// still produced a (bit-identical, reference-solved) plan; `None` for
+/// budget-truncated factors and failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointOutcome {
+    /// Unfolding factor this outcome describes.
+    pub f: usize,
+    /// Status of the computation for this factor.
+    pub status: PointStatus,
+    /// The trade-off point, when one was produced.
+    pub point: Option<TradeoffPoint>,
+}
+
+/// Everything a resilient sweep observed: per-factor outcomes in factor
+/// order, plus tallies for quick triage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReport {
+    /// One outcome per requested factor, sorted by `f`.
+    pub outcomes: Vec<PointOutcome>,
+}
+
+impl SweepReport {
+    /// The successfully produced points (ok or degraded-with-point), in
+    /// factor order — the resilient analogue of [`par_sweep`]'s return.
+    pub fn points(&self) -> Vec<TradeoffPoint> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.point.clone())
+            .collect()
+    }
+
+    /// Factors that degraded (with or without a point).
+    pub fn degraded(&self) -> Vec<&PointOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, PointStatus::Degraded(_)))
+            .collect()
+    }
+
+    /// Factors whose workers panicked.
+    pub fn failed(&self) -> Vec<&PointOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, PointStatus::Failed(_)))
+            .collect()
+    }
+
+    /// `true` when every factor finished on the fast path.
+    pub fn is_clean(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| matches!(o.status, PointStatus::Ok))
+    }
+}
+
+/// [`par_sweep_with`] hardened for hostile conditions: every factor runs
+/// under `budget`, panics are isolated per point, and nothing is silently
+/// wrong — each outcome says exactly what happened.
+///
+/// Per factor, the ladder is:
+///
+/// 1. the budgeted fast path ([`cache::compute_plan_budgeted`] through the
+///    shared `cache`) — [`PointStatus::Ok`] when it finishes;
+/// 2. on fast-path exhaustion or panic, the dense reference solver —
+///    [`PointStatus::Degraded`] with a bit-identical point;
+/// 3. on budget exhaustion *before* any solving (deadline already past,
+///    budget cancelled mid-sweep) — [`PointStatus::Degraded`] with no
+///    point: the sweep's coverage shrank, gracefully;
+/// 4. on a panic that even the reference path cannot absorb —
+///    [`PointStatus::Failed`] carrying the panic message; other factors
+///    keep going.
+///
+/// The returned outcomes are deterministic for a given budget *except*
+/// for deadline/cancellation timing, which may truncate different factors
+/// on different runs; work-unit budgets are fully deterministic.
+pub fn par_sweep_resilient(
+    g: &Dfg,
+    max_f: usize,
+    n: u64,
+    mode: DecMode,
+    threads: usize,
+    cache: &SweepCache,
+    budget: &Budget,
+) -> SweepReport {
+    let threads = threads.clamp(1, max_f.max(1));
+    let next = AtomicUsize::new(1);
+    let solve_one = |f: usize| -> PointOutcome {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let (plan, source) = cache.plan_budgeted(g, f, budget)?;
+            Ok::<_, Exhausted>((point_from_plan(g, f, &plan, n, mode), source))
+        }));
+        match result {
+            Ok(Ok((point, PlanSource::Solver))) => PointOutcome {
+                f,
+                status: PointStatus::Ok,
+                point: Some(point),
+            },
+            Ok(Ok((point, PlanSource::Reference(event)))) => PointOutcome {
+                f,
+                status: PointStatus::Degraded(event),
+                point: Some(point),
+            },
+            Ok(Err(exhausted)) => PointOutcome {
+                f,
+                status: PointStatus::Degraded(DegradationEvent {
+                    site: format!("explore.sweep f={f}"),
+                    cause: cred_resilience::DegradeCause::Exhausted(exhausted),
+                }),
+                point: None,
+            },
+            Err(payload) => PointOutcome {
+                f,
+                status: PointStatus::Failed(panic_message(payload.as_ref())),
+                point: None,
+            },
+        }
+    };
+    let mut outcomes: Vec<PointOutcome> = if threads == 1 {
+        (1..=max_f).map(solve_one).collect()
+    } else {
+        std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let f = next.fetch_add(1, Ordering::Relaxed);
+                            if f > max_f {
+                                break;
+                            }
+                            out.push(solve_one(f));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| {
+                    // solve_one already isolates panics per point; a panic
+                    // escaping the worker loop itself would be a bug in
+                    // this crate, not in a solver, and must not vanish.
+                    w.join().expect("resilient sweep scaffolding panicked")
+                })
+                .collect()
+        })
+    };
+    outcomes.sort_unstable_by_key(|o| o.f);
+    SweepReport { outcomes }
 }
 
 /// Non-dominated subset by (CRED code size, iteration period): a point is

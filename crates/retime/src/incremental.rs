@@ -45,6 +45,8 @@ use crate::minperiod::MinPeriodResult;
 use crate::Retiming;
 use cred_dfg::algo::WdMatrices;
 use cred_dfg::Dfg;
+use cred_resilience::failpoint::{self, sites};
+use cred_resilience::{Budget, Exhausted};
 use std::collections::VecDeque;
 
 /// Sentinel period: "no period constraints active" (legality edges only).
@@ -289,11 +291,18 @@ impl<'a> RetimeSolver<'a> {
 
     /// SPFA from the seeded queue. `span`: when `Some(s)`, the auxiliary
     /// vertex `n` is live with implicit edges `u -> n` (weight `s`) and
-    /// `n -> u` (weight `0`). Returns `false` on a negative cycle.
-    fn run(&mut self, span: Option<i64>) -> bool {
+    /// `n -> u` (weight `0`). Returns `Ok(false)` on a negative cycle.
+    ///
+    /// One work unit is charged to `budget` per dequeued vertex;
+    /// exhaustion aborts the solve mid-relaxation without touching the
+    /// warm-start snapshots (`s.feas` / `s.span_feas`), so an exhausted
+    /// solver stays valid for retry or fallback.
+    fn run(&mut self, span: Option<i64>, budget: &Budget) -> Result<bool, Exhausted> {
+        failpoint::hit(sites::RETIME_SPFA).map_err(|f| Exhausted::Injected { site: f.site })?;
         let n = self.csr.n;
         let limit = (n + 1) as u32;
         while let Some(u) = self.s.queue.pop_front() {
+            budget.charge(1)?;
             let u = u as usize;
             self.s.inq_clear(u);
             let du = self.s.dist[u];
@@ -307,7 +316,7 @@ impl<'a> RetimeSolver<'a> {
                         let wl = wu + 1;
                         self.s.walk[v] = wl;
                         if wl >= limit {
-                            return false; // walk revisits a vertex: negative cycle
+                            return Ok(false); // walk revisits a vertex: negative cycle
                         }
                         if !self.s.inq_test_set(v) {
                             // Smallest-label-first: likely-final labels are
@@ -339,7 +348,7 @@ impl<'a> RetimeSolver<'a> {
                 }
             }
         }
-        true
+        Ok(true)
     }
 
     /// Seed the queue by relaxing one explicit edge `u -> v` of weight `w`.
@@ -371,13 +380,13 @@ impl<'a> RetimeSolver<'a> {
     /// Solve the period-`c` feasibility system, leaving the fixpoint in
     /// `s.dist` (and snapshotting it as the new warm-start state) when
     /// feasible.
-    fn solve_period_raw(&mut self, c: i64) -> bool {
+    fn solve_period_raw(&mut self, c: i64, budget: &Budget) -> Result<bool, Exhausted> {
         self.span_feas_s = NO_SPAN; // span snapshots are per-period
         if c == self.feas_c {
             // Same system as the snapshot: the fixpoint is already known.
             self.s.dist.copy_from_slice(&self.s.feas);
             self.materialize(self.csr.prefix_for(c));
-            return true;
+            return Ok(true);
         }
         self.begin_solve();
         // Warm start from the tightest feasible snapshot that is still an
@@ -405,33 +414,46 @@ impl<'a> RetimeSolver<'a> {
         // Seed only the newly activated constraints; everything already
         // active is quiescent under the warm-start vector.
         for i in from..target {
+            budget.charge(1)?;
             let e = self.csr.act_edge[i] as usize;
             let u = self.csr.act_src[i] as usize;
             let v = self.csr.per_col[e] as usize;
             let w = self.csr.per_w[e];
             if !self.seed_edge(u, v, w) {
-                return false;
+                return Ok(false);
             }
         }
-        if !self.run(None) {
-            return false;
+        if !self.run(None, budget)? {
+            return Ok(false);
         }
         self.s.feas.copy_from_slice(&self.s.dist);
         self.feas_c = c;
-        true
+        Ok(true)
     }
 
     /// A normalized legal retiming achieving period `<= c`, or `None`.
     /// Bit-identical to [`crate::minperiod::retime_to_period_reference`].
     pub fn retime_to_period(&mut self, c: u64) -> Option<Retiming> {
-        if !self.solve_period_raw(c as i64) {
-            return None;
+        unbudgeted(self.retime_to_period_budgeted(c, &Budget::unlimited()))
+    }
+
+    /// [`Self::retime_to_period`] under a budget. `Err` means the budget
+    /// ran out mid-solve: no answer was produced (never a partial one),
+    /// and the solver's warm state is untouched, so it remains valid for
+    /// a retry with a larger budget or a different period.
+    pub fn retime_to_period_budgeted(
+        &mut self,
+        c: u64,
+        budget: &Budget,
+    ) -> Result<Option<Retiming>, Exhausted> {
+        if !self.solve_period_raw(c as i64, budget)? {
+            return Ok(None);
         }
         let mut r = Retiming::from_values(self.s.dist[..self.csr.n].to_vec());
         r.normalize();
         debug_assert!(r.is_legal(self.g));
         debug_assert!(cred_dfg::algo::cycle_period(&r.apply(self.g)) <= Some(c));
-        Some(r)
+        Ok(Some(r))
     }
 
     /// Minimum achievable cycle period and a retiming realizing it, by the
@@ -442,6 +464,18 @@ impl<'a> RetimeSolver<'a> {
     /// # Panics
     /// Panics on an empty or malformed graph.
     pub fn min_period(&mut self) -> MinPeriodResult {
+        unbudgeted(self.min_period_budgeted(&Budget::unlimited()))
+    }
+
+    /// [`Self::min_period`] under a budget. The budget spans the *whole*
+    /// binary search: all probes charge into the same counter. On `Err`
+    /// no result is produced; the solver remains usable.
+    ///
+    /// # Panics
+    /// Panics on an empty or malformed graph.
+    pub fn min_period_budgeted(&mut self, budget: &Budget) -> Result<MinPeriodResult, Exhausted> {
+        failpoint::hit(sites::RETIME_MIN_PERIOD)
+            .map_err(|f| Exhausted::Injected { site: f.site })?;
         self.g
             .validate()
             .expect("min_period_retiming requires a well-formed DFG");
@@ -452,7 +486,7 @@ impl<'a> RetimeSolver<'a> {
         let mut best = None;
         while lo <= hi {
             let mid = lo + (hi - lo) / 2;
-            if let Some(r) = self.retime_to_period(cands[mid] as u64) {
+            if let Some(r) = self.retime_to_period_budgeted(cands[mid] as u64, budget)? {
                 best = Some((r, cands[mid] as u64));
                 if mid == 0 {
                     break;
@@ -463,7 +497,7 @@ impl<'a> RetimeSolver<'a> {
             }
         }
         let (retiming, period) = best.expect("at least the maximum candidate is feasible");
-        MinPeriodResult { retiming, period }
+        Ok(MinPeriodResult { retiming, period })
     }
 
     /// Among retimings achieving period `<= c`, one of minimum span, given
@@ -473,6 +507,18 @@ impl<'a> RetimeSolver<'a> {
     /// probe from the last feasible one. Bit-identical to
     /// [`crate::span::min_span_retiming_reference`].
     pub fn min_span_from_base(&mut self, c: u64, base: &Retiming) -> Retiming {
+        unbudgeted(self.min_span_from_base_budgeted(c, base, &Budget::unlimited()))
+    }
+
+    /// [`Self::min_span_from_base`] under a budget. On `Err`, the search
+    /// produced no retiming (the caller still holds `base`, which remains
+    /// a correct — if wider — solution).
+    pub fn min_span_from_base_budgeted(
+        &mut self,
+        c: u64,
+        base: &Retiming,
+        budget: &Budget,
+    ) -> Result<Retiming, Exhausted> {
         let c = c as i64;
         let n = self.csr.n;
         assert_eq!(base.len(), n, "base retiming size mismatch");
@@ -498,7 +544,7 @@ impl<'a> RetimeSolver<'a> {
         let mut best = base.clone();
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            if let Some(r) = self.solve_span_probe(mid) {
+            if let Some(r) = self.solve_span_probe(mid, budget)? {
                 best = r;
                 hi = mid;
             } else {
@@ -506,7 +552,7 @@ impl<'a> RetimeSolver<'a> {
             }
         }
         debug_assert!(best.is_legal(self.g));
-        best
+        Ok(best)
     }
 
     /// Minimum-span retiming at period `<= c`, or `None` if infeasible.
@@ -515,10 +561,22 @@ impl<'a> RetimeSolver<'a> {
         Some(self.min_span_from_base(c, &base))
     }
 
+    /// [`Self::min_span`] under a budget.
+    pub fn min_span_budgeted(
+        &mut self,
+        c: u64,
+        budget: &Budget,
+    ) -> Result<Option<Retiming>, Exhausted> {
+        let Some(base) = self.retime_to_period_budgeted(c, budget)? else {
+            return Ok(None);
+        };
+        Ok(Some(self.min_span_from_base_budgeted(c, &base, budget)?))
+    }
+
     /// One span probe at bound `s`, warm-started from the last feasible
     /// span snapshot (always valid: the binary search only probes below
-    /// its feasible `hi`).
-    fn solve_span_probe(&mut self, s: i64) -> Option<Retiming> {
+    /// its feasible `hi`). `Ok(None)` = infeasible bound.
+    fn solve_span_probe(&mut self, s: i64, budget: &Budget) -> Result<Option<Retiming>, Exhausted> {
         debug_assert!(self.span_feas_s != NO_SPAN && s <= self.span_feas_s);
         let n = self.csr.n;
         self.begin_solve();
@@ -526,20 +584,29 @@ impl<'a> RetimeSolver<'a> {
         // Only the `u -> z` edges changed weight (tightened to `s`); the
         // `z -> u` edges are weight-0 and quiescent until `z` drops.
         for u in 0..n {
+            budget.charge(1)?;
             if !self.seed_edge(u, n, s) {
-                return None;
+                return Ok(None);
             }
         }
-        if !self.run(Some(s)) {
-            return None;
+        if !self.run(Some(s), budget)? {
+            return Ok(None);
         }
         self.s.span_feas.copy_from_slice(&self.s.dist);
         self.span_feas_s = s;
         let mut r = Retiming::from_values(self.s.dist[..n].to_vec());
         r.normalize();
         debug_assert!(r.span() <= s);
-        Some(r)
+        Ok(Some(r))
     }
+}
+
+/// Unwrap an unlimited-budget solve. An unlimited [`Budget`] cannot
+/// exhaust, so the only possible `Err` is an injected fault from a chaos
+/// plan — escalate it to a panic (the chaos harness catches and
+/// classifies those).
+fn unbudgeted<T>(res: Result<T, Exhausted>) -> T {
+    res.unwrap_or_else(|e| panic!("unbudgeted solve interrupted: {e}"))
 }
 
 #[cfg(test)]

@@ -14,11 +14,13 @@
 //! replay. The CLI front end is `cred verify --cases N --seed S`.
 
 pub mod case;
+pub mod chaos;
 pub mod corpus;
 pub mod oracle;
 pub mod shrink;
 
 pub use case::{random_case, Case, CaseConfig, TransformOrder};
+pub use chaos::{chaos_suite, ChaosConfig, ChaosOutcome, ChaosReport};
 pub use oracle::{
     verify_case, verify_case_mutated, CaseReport, FailureKind, ProgramReport, VerifyFailure,
 };

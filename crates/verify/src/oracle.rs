@@ -66,8 +66,10 @@ impl fmt::Display for VerifyFailure {
 
 impl std::error::Error for VerifyFailure {}
 
-/// Per-program summary of a passing case.
-#[derive(Debug, Clone)]
+/// Per-program summary of a passing case. `PartialEq` so the chaos
+/// harness can compare a run under fault injection bit-for-bit against
+/// its fault-free baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProgramReport {
     /// Generator tag.
     pub name: String,
@@ -82,7 +84,7 @@ pub struct ProgramReport {
 }
 
 /// Everything a passing case established.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CaseReport {
     /// The case's provenance tag.
     pub label: String,

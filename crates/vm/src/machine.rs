@@ -97,6 +97,12 @@ pub enum ExecError {
         /// Value the recurrence defines.
         expected: i64,
     },
+    /// A fail point injected a fault (chaos testing only; never occurs in
+    /// a build without the `failpoints` feature).
+    Injected {
+        /// The fail-point site that fired.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -127,6 +133,7 @@ impl fmt::Display for ExecError {
                 got,
                 expected,
             } => write!(f, "{array}[{index}] = {got}, reference says {expected}"),
+            ExecError::Injected { site } => write!(f, "fault injected at {site}"),
         }
     }
 }
@@ -358,6 +365,8 @@ pub fn execute(p: &LoopProgram) -> Result<ExecResult, ExecError> {
         }
         let mut i = l.lo;
         while i <= l.hi {
+            cred_resilience::failpoint::hit(cred_resilience::failpoint::sites::VM_EXEC)
+                .map_err(|e| ExecError::Injected { site: e.site })?;
             for inst in &l.body {
                 m.step(inst, i)?;
             }
