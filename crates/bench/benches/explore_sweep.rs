@@ -1,12 +1,12 @@
 //! Criterion bench for the exploration engine: the serial reference
-//! [`cred_explore::sweep`] against the parallel, memoized
-//! [`cred_explore::par_sweep`] on the two largest bundled kernels
+//! pipeline [`cred_explore::sweep_reference`] against the parallel,
+//! memoized [`ExploreRequest`] engine on the two largest bundled kernels
 //! (elliptic, 34 nodes; volterra, 27 nodes), plus the warm-cache
 //! steady state a long-lived [`SweepCache`] reaches after the first sweep.
 
 use cred_codegen::DecMode;
 use cred_explore::cache::SweepCache;
-use cred_explore::{par_sweep, par_sweep_with, sweep};
+use cred_explore::{sweep_reference, ExploreRequest};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -22,23 +22,36 @@ fn bench_explore_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for (name, g) in &kernels {
         group.bench_with_input(BenchmarkId::new("serial", name), g, |b, g| {
-            b.iter(|| black_box(sweep(g, MAX_F, N, DecMode::Bulk)));
+            b.iter(|| black_box(sweep_reference(g, MAX_F, N, DecMode::Bulk)));
         });
         for threads in [2, 8] {
             group.bench_with_input(
                 BenchmarkId::new(format!("parallel{threads}"), name),
                 g,
                 |b, g| {
-                    b.iter(|| black_box(par_sweep(g, MAX_F, N, DecMode::Bulk, threads)));
+                    b.iter(|| {
+                        black_box(
+                            ExploreRequest::new(g.clone())
+                                .max_f(MAX_F)
+                                .trip_count(N)
+                                .threads(threads)
+                                .run()
+                                .expect("unlimited sweep"),
+                        )
+                    });
                 },
             );
         }
         // Steady state: the cache already holds every plan, so the sweep
         // only regenerates code from the memoized retimings.
         let warm = SweepCache::new();
-        let _ = par_sweep_with(g, MAX_F, N, DecMode::Bulk, 8, &warm);
-        group.bench_with_input(BenchmarkId::new("warm_cache", name), g, |b, g| {
-            b.iter(|| black_box(par_sweep_with(g, MAX_F, N, DecMode::Bulk, 8, &warm)));
+        let request = ExploreRequest::new(g.clone())
+            .max_f(MAX_F)
+            .trip_count(N)
+            .threads(8);
+        let _ = request.run_with(&warm).expect("warmup sweep");
+        group.bench_with_input(BenchmarkId::new("warm_cache", name), &request, |b, req| {
+            b.iter(|| black_box(req.run_with(&warm).expect("warm sweep")));
         });
     }
     group.finish();

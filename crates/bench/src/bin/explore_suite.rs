@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use cred_codegen::DecMode;
 use cred_dfg::Dfg;
-use cred_explore::{par_sweep, suite, sweep};
+use cred_explore::{suite, sweep_reference, ExploreRequest};
 
 const MAX_F: usize = 4;
 const N: u64 = 101;
@@ -35,12 +35,19 @@ fn best_of<F: FnMut()>(reps: usize, mut f: F) -> u128 {
 
 fn time_kernel(name: &str, g: &Dfg, reps: usize) -> String {
     let serial = best_of(reps, || {
-        std::hint::black_box(sweep(g, MAX_F, N, DecMode::Bulk));
+        std::hint::black_box(sweep_reference(g, MAX_F, N, DecMode::Bulk));
     });
     let mut parallel = Vec::new();
     for threads in THREAD_COUNTS {
         let ns = best_of(reps, || {
-            std::hint::black_box(par_sweep(g, MAX_F, N, DecMode::Bulk, threads));
+            std::hint::black_box(
+                ExploreRequest::new(g.clone())
+                    .max_f(MAX_F)
+                    .trip_count(N)
+                    .threads(threads)
+                    .run()
+                    .expect("unlimited sweep"),
+            );
         });
         parallel.push(format!(
             "{{ \"threads\": {threads}, \"ns\": {ns}, \"speedup\": {:.3} }}",

@@ -7,6 +7,7 @@
 //! credc schedule <file.loop> [--alu N] [--mul N]  rotation scheduling
 //! credc verify   [options]                        differential fuzzing
 //! credc chaos    [options]                        fault-injection replay
+//! credc serve    [options]                        evaluation server
 //! ```
 //!
 //! Options for `reduce`:
@@ -37,6 +38,14 @@
 //! are the expected outcome under injection):
 //!   --cases N       fault plans to replay (default 100)
 //!   --seed S        seed of the case *and* plan streams (default 0)
+//! Options for `serve` (long-running NDJSON-over-TCP evaluation server;
+//! see DESIGN.md "Service" for the protocol):
+//!   --addr A         bind address (default 127.0.0.1:7878; :0 = any port)
+//!   --workers W      worker threads (default 4)
+//!   --cache-cap C    shared plan-cache capacity (default 1024)
+//!   --deadline-ms D  default per-request deadline (default: unlimited)
+//!   --kernels DIR    serve DIR/*.loop by name (default: kernels/ if present)
+//!   --metrics-dump F write a final metrics snapshot to F on shutdown
 //!
 //! Exit codes: 0 success, 1 error/failure, 2 degraded (under `--strict`).
 
@@ -44,8 +53,9 @@ use cred_codegen::pretty::render;
 use cred_codegen::DecMode;
 use cred_core::{CodeSizeReducer, ReducerConfig};
 use cred_dfg::{algo, Dfg};
-use cred_resilience::Budget;
+use cred_explore::ExploreRequest;
 use cred_schedule::{list_schedule, rotation_schedule, FuConfig};
+use cred_service::{Server, ServiceConfig};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -247,7 +257,7 @@ fn cmd_explore_suite(dir: &std::path::Path, args: &Args) -> Result<(), String> {
 /// exclusive; without either, degradations are printed and exit 0 (the
 /// answers are still bit-identical, only the road there gave way).
 struct ResilienceOpts {
-    budget: Budget,
+    deadline: Option<Duration>,
     strict: bool,
 }
 
@@ -255,7 +265,7 @@ fn resilience_opts(args: &Args) -> Result<ResilienceOpts, String> {
     if args.has("strict") && args.has("degraded-ok") {
         return Err("--strict and --degraded-ok are mutually exclusive".into());
     }
-    let mut budget = Budget::unlimited();
+    let mut deadline = None;
     if let Some(ms) = args.get("deadline-ms") {
         let ms: u64 = ms
             .parse()
@@ -263,10 +273,10 @@ fn resilience_opts(args: &Args) -> Result<ResilienceOpts, String> {
         if ms == 0 {
             return Err("--deadline-ms must be at least 1".into());
         }
-        budget = budget.with_deadline(Duration::from_millis(ms));
+        deadline = Some(Duration::from_millis(ms));
     }
     Ok(ResilienceOpts {
-        budget,
+        deadline,
         strict: args.has("strict"),
     })
 }
@@ -284,18 +294,24 @@ fn cmd_explore(path: &str, g: &Dfg, args: &Args) -> Result<ExitCode, String> {
         print!("{}", report.to_json());
         return Ok(ExitCode::SUCCESS);
     }
-    let cache = cred_explore::cache::SweepCache::new();
-    let report = cred_explore::par_sweep_resilient(
-        g,
-        max_f,
-        n,
-        DecMode::Bulk,
-        threads,
-        &cache,
-        &opts.budget,
-    );
-    let points = report.points();
-    print_points(&points);
+    let mut request = ExploreRequest::new(g.clone())
+        .max_f(max_f)
+        .trip_count(n)
+        .threads(threads)
+        .strict(opts.strict);
+    if let Some(d) = opts.deadline {
+        request = request.deadline(d);
+    }
+    let resp = request.run_with(&cred_explore::cache::SweepCache::new());
+    let resp = match resp {
+        Ok(resp) => resp,
+        Err(e) => {
+            eprintln!("credc: {e}");
+            return Ok(ExitCode::from(e.exit_code()));
+        }
+    };
+    let report = &resp.report;
+    print_points(&resp.points);
     for o in report.degraded() {
         if let cred_explore::PointStatus::Degraded(ev) = &o.status {
             eprintln!("credc: degraded: {ev}");
@@ -462,20 +478,70 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `credc serve`: run the evaluation server until a client sends a
+/// `shutdown` request. Prints one `listening on ADDR` line once the
+/// socket is bound, so scripts can wait for readiness.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let workers = args.get_u64("workers", 4)? as usize;
+    let cache_cap = args.get_u64("cache-cap", 1024)? as usize;
+    if workers < 1 {
+        return Err("--workers must be at least 1".into());
+    }
+    if cache_cap < 1 {
+        return Err("--cache-cap must be at least 1".into());
+    }
+    let mut default_deadline = None;
+    if let Some(ms) = args.get("deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--deadline-ms: bad number '{ms}'"))?;
+        if ms == 0 {
+            return Err("--deadline-ms must be at least 1".into());
+        }
+        default_deadline = Some(Duration::from_millis(ms));
+    }
+    // Named kernels: an explicit --kernels dir must exist; without the
+    // flag, kernels/ is picked up when present and skipped when not.
+    let kernels_dir = match args.get("kernels") {
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            if !dir.is_dir() {
+                return Err(format!("--kernels: {} is not a directory", dir.display()));
+            }
+            Some(dir)
+        }
+        None => {
+            let default = std::path::PathBuf::from("kernels");
+            default.is_dir().then_some(default)
+        }
+    };
+    let server = Server::bind(ServiceConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers,
+        cache_capacity: cache_cap,
+        default_deadline,
+        kernels_dir,
+        metrics_dump: args.get("metrics-dump").map(std::path::PathBuf::from),
+    })
+    .map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {addr}");
+    server.run().map_err(|e| e.to_string())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         return fail(
-            "usage: credc <analyze|reduce|explore|schedule|verify|chaos> <file.loop> [options]",
+            "usage: credc <analyze|reduce|explore|schedule|verify|chaos|serve> <file.loop> [options]",
         );
     };
-    // `verify` and `chaos` generate their own cases; they take options
-    // but no input file.
-    if cmd == "verify" || cmd == "chaos" {
-        let run = if cmd == "verify" {
-            cmd_verify
-        } else {
-            cmd_chaos
+    // `verify`, `chaos`, and `serve` take options but no input file.
+    if cmd == "verify" || cmd == "chaos" || cmd == "serve" {
+        let run = match cmd.as_str() {
+            "verify" => cmd_verify,
+            "chaos" => cmd_chaos,
+            _ => cmd_serve,
         };
         return match Args::parse(rest).and_then(|args| run(&args)) {
             Ok(()) => ExitCode::SUCCESS,

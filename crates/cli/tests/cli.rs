@@ -122,6 +122,73 @@ fn explore_accepts_resilience_flags() {
 }
 
 #[test]
+fn serve_subcommand_runs_and_shuts_down_cleanly() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let dir = std::env::temp_dir().join(format!("credc-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("metrics.json");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_credc"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--kernels",
+            &format!("{root}/kernels"),
+            "--metrics-dump",
+            dump.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("credc serve starts");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected readiness line: {line}"))
+        .to_string();
+
+    let stream = std::net::TcpStream::connect(&addr).expect("connect to credc serve");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    let mut request = |line: &str| {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp
+    };
+    let resp = request("{\"type\":\"explore\",\"kernel\":\"figure3\",\"max_f\":2,\"n\":31}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"schema_version\":1"), "{resp}");
+    let resp = request("{\"type\":\"shutdown\"}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+
+    let status = child.wait().expect("credc serve exits");
+    assert!(status.success(), "server must exit cleanly: {status:?}");
+    let dumped = std::fs::read_to_string(&dump).expect("metrics dump written");
+    assert!(dumped.contains("\"explore_computes\":1"), "{dumped}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_bad_flags_with_typed_errors() {
+    assert_clean_failure(&run(&["serve", "--workers", "0"]), "--workers must be");
+    assert_clean_failure(&run(&["serve", "--cache-cap", "0"]), "--cache-cap must be");
+    assert_clean_failure(
+        &run(&["serve", "--deadline-ms", "0"]),
+        "--deadline-ms must be at least 1",
+    );
+    assert_clean_failure(
+        &run(&["serve", "--kernels", "/nonexistent-kernels"]),
+        "is not a directory",
+    );
+}
+
+#[test]
 fn chaos_subcommand_is_sound_and_quiet() {
     let out = run(&["chaos", "--cases", "15", "--seed", "0"]);
     assert!(out.status.success(), "{out:?}");

@@ -1,0 +1,509 @@
+//! The redesigned exploration front door: one request, one response.
+//!
+//! PRs 1–4 grew five sweep entry points (`sweep`, `sweep_cached`,
+//! `par_sweep`, `par_sweep_with`, `par_sweep_resilient`) plus the suite
+//! runner, each with a slightly different signature and failure story.
+//! [`ExploreRequest`] replaces them all: a builder holding the kernel,
+//! the sweep parameters ([`ExploreOptions`]), and the resource limits
+//! (deadline / work units / cancellation), evaluated by [`run`] or
+//! [`run_with`] into an [`ExploreResponse`] carrying the points, the
+//! Pareto frontier, the per-factor outcome report, and cache statistics.
+//! The CLI, the suite runner, and the evaluation server (`cred-service`)
+//! all speak this API; the legacy functions survive only as
+//! `#[deprecated]` wrappers.
+//!
+//! Results are bit-identical across every path: the engine underneath is
+//! the resilient sweep of PR 4, whose points are proven equal to the
+//! serial reference pipeline by differential tests.
+//!
+//! [`run`]: ExploreRequest::run
+//! [`run_with`]: ExploreRequest::run_with
+
+use std::time::Duration;
+
+use cred_codegen::DecMode;
+use cred_dfg::Dfg;
+use cred_resilience::{Budget, CancelToken, DegradationEvent, DegradeCause};
+
+use crate::cache::SweepCache;
+use crate::error::CredError;
+use crate::{pareto, resilient_sweep, PointStatus, SweepReport, TradeoffPoint};
+
+/// The sweep parameters of an [`ExploreRequest`]: everything that shapes
+/// *what* is computed (and therefore everything a cache or coalescing key
+/// must include), as opposed to the resource limits, which only shape how
+/// long the computation may run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreOptions {
+    /// Largest unfolding factor to evaluate (`1..=max_f`).
+    pub max_f: usize,
+    /// Trip count used for the measured program sizes.
+    pub n: u64,
+    /// Decrement placement mode for the CRED transformation.
+    pub mode: DecMode,
+    /// Worker threads for the sweep (factors are work-stolen).
+    pub threads: usize,
+    /// Refuse degraded evaluation: when `true`, a response containing any
+    /// degraded point is a [`CredError::DegradedUnderStrict`] via
+    /// [`ExploreResponse::strict_violation`].
+    pub strict: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_f: 4,
+            n: 101,
+            mode: DecMode::Bulk,
+            threads: 1,
+            strict: false,
+        }
+    }
+}
+
+/// A stable small integer per [`DecMode`], for cache and coalescing keys
+/// (the enum itself carries no discriminant guarantees we want to lean
+/// on in a wire-visible key).
+pub fn mode_code(mode: DecMode) -> u8 {
+    match mode {
+        DecMode::PerCopy => 0,
+        DecMode::Bulk => 1,
+    }
+}
+
+/// One exploration query: a kernel plus options plus resource limits.
+///
+/// ```
+/// use cred_explore::{ExploreRequest, ExploreOptions};
+///
+/// let g = cred_dfg::gen::chain_with_feedback(6, 3);
+/// let resp = ExploreRequest::new(g)
+///     .max_f(3)
+///     .trip_count(60)
+///     .run()
+///     .expect("unlimited budget cannot exhaust");
+/// assert_eq!(resp.points.len(), 3);
+/// assert!(resp.report.is_clean());
+/// ```
+#[derive(Debug)]
+pub struct ExploreRequest {
+    graph: Dfg,
+    opts: ExploreOptions,
+    deadline: Option<Duration>,
+    work_limit: Option<u64>,
+    cancel: Option<CancelToken>,
+}
+
+impl ExploreRequest {
+    /// A request over `graph` with default [`ExploreOptions`] and no
+    /// resource limits.
+    pub fn new(graph: Dfg) -> Self {
+        ExploreRequest {
+            graph,
+            opts: ExploreOptions::default(),
+            deadline: None,
+            work_limit: None,
+            cancel: None,
+        }
+    }
+
+    /// Parse a loop-kernel source into a request.
+    pub fn from_source(src: &str) -> Result<Self, CredError> {
+        let g = cred_lang::parse(src).map_err(|e| CredError::Parse(e.to_string()))?;
+        Ok(Self::new(g))
+    }
+
+    /// Replace the whole option block at once.
+    pub fn options(mut self, opts: ExploreOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Largest unfolding factor to evaluate.
+    pub fn max_f(mut self, max_f: usize) -> Self {
+        self.opts.max_f = max_f;
+        self
+    }
+
+    /// Trip count used for the measured program sizes.
+    pub fn trip_count(mut self, n: u64) -> Self {
+        self.opts.n = n;
+        self
+    }
+
+    /// Decrement placement mode.
+    pub fn mode(mut self, mode: DecMode) -> Self {
+        self.opts.mode = mode;
+        self
+    }
+
+    /// Worker threads for the sweep.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Refuse degraded evaluation (see [`ExploreOptions::strict`]).
+    pub fn strict(mut self, strict: bool) -> Self {
+        self.opts.strict = strict;
+        self
+    }
+
+    /// Wall-clock budget for the whole request, measured from
+    /// [`run`](Self::run).
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Deterministic work-unit budget for the whole request.
+    pub fn work_limit(mut self, limit: u64) -> Self {
+        self.work_limit = Some(limit);
+        self
+    }
+
+    /// Cooperative cancellation: the caller keeps a clone of `token` and
+    /// may cancel the request mid-flight.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The kernel under exploration.
+    pub fn graph(&self) -> &Dfg {
+        &self.graph
+    }
+
+    /// The sweep parameters.
+    pub fn opts(&self) -> &ExploreOptions {
+        &self.opts
+    }
+
+    /// The deduplication key of this request: two requests with equal
+    /// keys compute bit-identical responses, so a cache or an in-flight
+    /// coalescer may serve one computation to both. Deliberately excludes
+    /// the resource limits and `threads`/`strict`, which do not affect
+    /// the computed points.
+    pub fn coalesce_key(&self) -> (u64, usize, u64, u8) {
+        (
+            self.graph.fingerprint(),
+            self.opts.max_f,
+            self.opts.n,
+            mode_code(self.opts.mode),
+        )
+    }
+
+    /// Evaluate with a private, request-local [`SweepCache`].
+    pub fn run(&self) -> Result<ExploreResponse, CredError> {
+        self.run_with(&SweepCache::new())
+    }
+
+    /// Evaluate against a shared [`SweepCache`] (the long-running service
+    /// passes one process-wide cache so concurrent clients deduplicate
+    /// work by DFG fingerprint).
+    ///
+    /// Failure modes:
+    ///
+    /// * `Err(`[`CredError::Protocol`]`)` — unevaluable options
+    ///   (`max_f == 0` or `threads == 0`);
+    /// * `Err(`[`CredError::BudgetExhausted`]`)` — the budget was gone
+    ///   before *any* point was produced (all-or-nothing; a partially
+    ///   truncated sweep still returns `Ok` with the surviving points and
+    ///   the degradation events saying what was cut);
+    /// * `Ok(response)` otherwise — including degraded and failed points,
+    ///   which the caller inspects via the response (and
+    ///   [`ExploreResponse::strict_violation`] when strictness was
+    ///   requested).
+    pub fn run_with(&self, cache: &SweepCache) -> Result<ExploreResponse, CredError> {
+        if self.opts.max_f < 1 {
+            return Err(CredError::Protocol("max_f must be at least 1".into()));
+        }
+        if self.opts.threads < 1 {
+            return Err(CredError::Protocol("threads must be at least 1".into()));
+        }
+        let mut budget = Budget::unlimited();
+        if let Some(d) = self.deadline {
+            budget = budget.with_deadline(d);
+        }
+        if let Some(w) = self.work_limit {
+            budget = budget.with_work_limit(w);
+        }
+        if let Some(tok) = &self.cancel {
+            budget = budget.with_cancel(tok.clone());
+        }
+        // Admission control: a budget that is already gone fails typed,
+        // before any solver runs.
+        budget.check().map_err(CredError::BudgetExhausted)?;
+        let report = resilient_sweep(
+            &self.graph,
+            self.opts.max_f,
+            self.opts.n,
+            self.opts.mode,
+            self.opts.threads,
+            cache,
+            &budget,
+        );
+        let points = report.points();
+        if points.is_empty() {
+            // Nothing was produced. If any factor was cut off by the
+            // budget, the whole request is a typed budget error rather
+            // than an empty success.
+            let exhausted = report.outcomes.iter().find_map(|o| match &o.status {
+                PointStatus::Degraded(ev) => match &ev.cause {
+                    DegradeCause::Exhausted(e) => Some(e.clone()),
+                    _ => None,
+                },
+                _ => None,
+            });
+            if let Some(e) = exhausted {
+                return Err(CredError::BudgetExhausted(e));
+            }
+        }
+        Ok(ExploreResponse {
+            pareto: pareto(&points),
+            points,
+            report,
+            cache: CacheStats::of(cache),
+            opts: self.opts.clone(),
+        })
+    }
+}
+
+/// Snapshot of a [`SweepCache`]'s counters. For a request-local cache the
+/// numbers describe this request alone; for a shared (service) cache they
+/// are process-wide totals at response time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Plan lookups answered from the memo table.
+    pub hits: u64,
+    /// Plan lookups that ran a solver.
+    pub misses: u64,
+    /// Entries dropped (LRU bound or checksum self-healing).
+    pub evictions: u64,
+    /// Lock-poisoning recoveries.
+    pub poison_recoveries: u64,
+}
+
+impl CacheStats {
+    /// Read the counters of `cache` now.
+    pub fn of(cache: &SweepCache) -> Self {
+        CacheStats {
+            hits: cache.hits(),
+            misses: cache.misses(),
+            evictions: cache.evictions(),
+            poison_recoveries: cache.poison_recoveries(),
+        }
+    }
+}
+
+/// Everything one evaluated [`ExploreRequest`] produced.
+#[derive(Debug, Clone)]
+pub struct ExploreResponse {
+    /// The produced trade-off points, in factor order. Factors whose
+    /// evaluation failed or was cut off by the budget are absent (see
+    /// [`report`](Self::report)).
+    pub points: Vec<TradeoffPoint>,
+    /// The (CRED code size, iteration period)-optimal frontier of
+    /// [`points`](Self::points).
+    pub pareto: Vec<TradeoffPoint>,
+    /// Per-factor outcomes, including degradation events and isolated
+    /// failures.
+    pub report: SweepReport,
+    /// Cache counters at response time.
+    pub cache: CacheStats,
+    /// Echo of the options the response was computed under.
+    pub opts: ExploreOptions,
+}
+
+impl ExploreResponse {
+    /// The degradation events recorded while producing this response.
+    pub fn degradations(&self) -> Vec<&DegradationEvent> {
+        self.report
+            .outcomes
+            .iter()
+            .filter_map(|o| match &o.status {
+                PointStatus::Degraded(ev) => Some(ev),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The factors whose workers failed even on the fallback path, with
+    /// their panic messages.
+    pub fn failures(&self) -> Vec<(usize, &str)> {
+        self.report
+            .outcomes
+            .iter()
+            .filter_map(|o| match &o.status {
+                PointStatus::Failed(msg) => Some((o.f, msg.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// When the request demanded strict evaluation and anything degraded,
+    /// the error the front end must surface instead of a success.
+    pub fn strict_violation(&self) -> Option<CredError> {
+        let degraded = self.degradations().len();
+        (self.opts.strict && degraded > 0).then_some(CredError::DegradedUnderStrict { degraded })
+    }
+}
+
+/// Serialize one point in the stable v1 JSON shape shared by the suite
+/// report and the service wire format.
+pub fn point_json(p: &TradeoffPoint) -> String {
+    format!(
+        "{{ \"f\": {}, \"m_r\": {}, \"plain_size\": {}, \"cred_size\": {}, \
+         \"period\": {{ \"num\": {}, \"den\": {} }}, \"registers\": {} }}",
+        p.f,
+        p.m_r,
+        p.plain_size,
+        p.cred_size,
+        p.iteration_period.num(),
+        p.iteration_period.den(),
+        p.registers
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cred_dfg::gen;
+    use cred_resilience::Exhausted;
+
+    fn sample() -> Dfg {
+        gen::chain_with_feedback(6, 3)
+    }
+
+    #[test]
+    fn request_matches_reference_sweep() {
+        let g = sample();
+        let resp = ExploreRequest::new(g.clone())
+            .max_f(4)
+            .trip_count(60)
+            .run()
+            .unwrap();
+        assert_eq!(
+            resp.points,
+            crate::sweep_reference(&g, 4, 60, DecMode::Bulk)
+        );
+        assert_eq!(resp.pareto, pareto(&resp.points));
+        assert!(resp.report.is_clean());
+        assert!(resp.degradations().is_empty() && resp.failures().is_empty());
+        assert_eq!(resp.cache.misses, 4);
+    }
+
+    #[test]
+    fn shared_cache_answers_repeat_requests() {
+        let g = sample();
+        let cache = SweepCache::new();
+        let req = ExploreRequest::new(g).max_f(3).trip_count(60);
+        let a = req.run_with(&cache).unwrap();
+        let b = req.run_with(&cache).unwrap();
+        assert_eq!(a.points, b.points);
+        assert_eq!(b.cache.misses, 3, "second run must be all hits");
+        assert!(b.cache.hits >= 3);
+    }
+
+    #[test]
+    fn threads_do_not_change_the_answer() {
+        let g = sample();
+        let serial = ExploreRequest::new(g.clone()).max_f(4).run().unwrap();
+        for threads in [2, 4, 8] {
+            let par = ExploreRequest::new(g.clone())
+                .max_f(4)
+                .threads(threads)
+                .run()
+                .unwrap();
+            assert_eq!(par.points, serial.points, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn exhausted_admission_is_a_typed_error() {
+        let tok = CancelToken::new();
+        tok.cancel();
+        let err = ExploreRequest::new(sample()).cancel(tok).run().unwrap_err();
+        assert_eq!(err, CredError::BudgetExhausted(Exhausted::Cancelled));
+        assert_eq!(err.code(), "budget-exhausted");
+    }
+
+    #[test]
+    fn zero_work_budget_degrades_but_still_answers() {
+        // The degradation ladder falls back to the reference solver, so a
+        // starved budget yields a complete, degraded, correct response.
+        let g = sample();
+        let resp = ExploreRequest::new(g.clone())
+            .max_f(2)
+            .trip_count(60)
+            .work_limit(0)
+            .run()
+            .unwrap();
+        assert_eq!(
+            resp.points,
+            crate::sweep_reference(&g, 2, 60, DecMode::Bulk)
+        );
+        assert!(!resp.degradations().is_empty());
+        assert!(resp.strict_violation().is_none(), "not strict by default");
+    }
+
+    #[test]
+    fn strict_surfaces_degradation_as_error() {
+        let resp = ExploreRequest::new(sample())
+            .max_f(2)
+            .trip_count(60)
+            .strict(true)
+            .work_limit(0)
+            .run()
+            .unwrap();
+        let err = resp.strict_violation().expect("degraded under strict");
+        assert_eq!(err.code(), "degraded-under-strict");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn invalid_options_are_protocol_errors() {
+        let err = ExploreRequest::new(sample()).max_f(0).run().unwrap_err();
+        assert_eq!(err.code(), "protocol");
+        let err = ExploreRequest::new(sample()).threads(0).run().unwrap_err();
+        assert_eq!(err.code(), "protocol");
+    }
+
+    #[test]
+    fn from_source_maps_parse_failures() {
+        assert!(ExploreRequest::from_source("loop { a = a").is_err());
+        let err = ExploreRequest::from_source("not a kernel").unwrap_err();
+        assert_eq!(err.code(), "parse");
+    }
+
+    #[test]
+    fn coalesce_key_sees_compute_inputs_only() {
+        let g = sample();
+        let base = ExploreRequest::new(g.clone()).max_f(3);
+        let key = base.coalesce_key();
+        // Limits, threads, and strictness do not change the key...
+        let limited = ExploreRequest::new(g.clone())
+            .max_f(3)
+            .threads(8)
+            .strict(true)
+            .work_limit(10)
+            .deadline(Duration::from_secs(1));
+        assert_eq!(limited.coalesce_key(), key);
+        // ...but every compute input does.
+        assert_ne!(ExploreRequest::new(g.clone()).max_f(2).coalesce_key(), key);
+        assert_ne!(
+            ExploreRequest::new(g.clone())
+                .max_f(3)
+                .trip_count(7)
+                .coalesce_key(),
+            key
+        );
+        assert_ne!(
+            ExploreRequest::new(g)
+                .max_f(3)
+                .mode(DecMode::PerCopy)
+                .coalesce_key(),
+            key
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! The one error type reachable from the `credc` CLI and the evaluation
+//! service.
+//!
+//! Before this module, every layer surfaced its own ad-hoc error carrier:
+//! the parser returned its own error type, the CLI stringified everything,
+//! the budgeted solvers returned [`Exhausted`], and the service layer had
+//! nothing. [`CredError`] unifies the failures a *front end* can observe
+//! behind stable machine-readable codes ([`CredError::code`]) used
+//! verbatim in service error responses and mapped to process exit codes
+//! ([`CredError::exit_code`]) by the CLI. The codes are part of the v1
+//! wire schema: renaming one is a breaking protocol change.
+
+use std::fmt;
+
+use cred_resilience::Exhausted;
+
+/// Everything that can go wrong between a request arriving (CLI argv or a
+/// service JSON line) and a fully evaluated [`crate::ExploreResponse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CredError {
+    /// A loop-kernel source failed to parse.
+    Parse(String),
+    /// A solver or code-generation stage failed outright (even the
+    /// reference fallback path could not produce an answer).
+    Solve(String),
+    /// The request's budget (deadline, work units, or cancellation) was
+    /// exhausted before *any* answer was produced. All-or-nothing: a
+    /// response that carries points never uses this variant.
+    BudgetExhausted(Exhausted),
+    /// The request demanded strict (no-degradation) evaluation, but at
+    /// least one point was produced by a fallback path.
+    DegradedUnderStrict {
+        /// How many points degraded.
+        degraded: usize,
+    },
+    /// An I/O failure (socket, file, bind) outside the solve itself.
+    Io(String),
+    /// A malformed or unsupported request: bad JSON, unknown request
+    /// type, out-of-range parameter, unknown named kernel, unsupported
+    /// schema version.
+    Protocol(String),
+}
+
+impl CredError {
+    /// Stable machine-readable code, used as `error.code` in service
+    /// responses. Frozen for schema version 1.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CredError::Parse(_) => "parse",
+            CredError::Solve(_) => "solve",
+            CredError::BudgetExhausted(_) => "budget-exhausted",
+            CredError::DegradedUnderStrict { .. } => "degraded-under-strict",
+            CredError::Io(_) => "io",
+            CredError::Protocol(_) => "protocol",
+        }
+    }
+
+    /// Process exit code the CLI maps this error to: 2 for
+    /// degraded-under-strict (the answer existed, the road there gave
+    /// way), 1 for everything else.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CredError::DegradedUnderStrict { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for CredError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CredError::Parse(msg) => write!(f, "{msg}"),
+            CredError::Solve(msg) => write!(f, "{msg}"),
+            CredError::BudgetExhausted(e) => write!(f, "budget exhausted: {e}"),
+            CredError::DegradedUnderStrict { degraded } => {
+                write!(f, "{degraded} point(s) degraded under strict evaluation")
+            }
+            CredError::Io(msg) => write!(f, "{msg}"),
+            CredError::Protocol(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CredError {}
+
+impl From<Exhausted> for CredError {
+    fn from(e: Exhausted) -> Self {
+        CredError::BudgetExhausted(e)
+    }
+}
+
+impl From<std::io::Error> for CredError {
+    fn from(e: std::io::Error) -> Self {
+        CredError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = [
+            CredError::Parse("p".into()),
+            CredError::Solve("s".into()),
+            CredError::BudgetExhausted(Exhausted::Cancelled),
+            CredError::DegradedUnderStrict { degraded: 2 },
+            CredError::Io("i".into()),
+            CredError::Protocol("x".into()),
+        ];
+        let codes: Vec<_> = errors.iter().map(|e| e.code()).collect();
+        assert_eq!(
+            codes,
+            [
+                "parse",
+                "solve",
+                "budget-exhausted",
+                "degraded-under-strict",
+                "io",
+                "protocol"
+            ]
+        );
+    }
+
+    #[test]
+    fn exit_codes_separate_strictness_from_failure() {
+        assert_eq!(
+            CredError::DegradedUnderStrict { degraded: 1 }.exit_code(),
+            2
+        );
+        assert_eq!(CredError::Parse("x".into()).exit_code(), 1);
+        assert_eq!(
+            CredError::BudgetExhausted(Exhausted::Cancelled).exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn displays_render_one_line() {
+        for e in [
+            CredError::Parse("bad token".into()),
+            CredError::BudgetExhausted(Exhausted::WorkUnits { limit: 3 }),
+            CredError::DegradedUnderStrict { degraded: 4 },
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty() && !s.contains('\n'), "{s:?}");
+        }
+    }
+}

@@ -7,23 +7,36 @@
 //! (code size, performance, registers) jointly. This crate implements that
 //! exploration over *measured* program sizes:
 //!
-//! * [`sweep`] — evaluate every unfolding factor up to a limit, returning
-//!   one [`TradeoffPoint`] per factor with plain and CRED code sizes, the
-//!   achieved iteration period, and the register demand;
+//! * [`ExploreRequest`] / [`ExploreResponse`] — **the** exploration API:
+//!   a builder holding the kernel, the sweep parameters, and the resource
+//!   limits, evaluated into one [`TradeoffPoint`] per unfolding factor
+//!   plus the Pareto frontier, the per-factor outcome report, and cache
+//!   statistics. The CLI, the suite runner, and the `cred-service`
+//!   evaluation server all go through it;
 //! * [`pareto`] — filter to the (code size, iteration period)-optimal
 //!   frontier;
 //! * [`best_under_code_budget`] / [`best_under_register_budget`] — the two
 //!   constrained searches the paper sketches ("find the maximum
 //!   performance when the number of conditional registers are limited");
-//! * [`par_sweep`] — the same sweep sharded over scoped worker threads,
-//!   backed by the [`cache`] layer so W/D matrices are computed once per
-//!   unfolded graph and finished plans are memoized by
-//!   `(fingerprint, f)`; results are identical to [`sweep`]'s;
+//! * [`sweep_reference`] — the independent per-point reference pipeline,
+//!   kept as the differential-testing oracle and benchmark baseline;
 //! * [`suite`] — batch exploration over a directory of `.loop` kernels
-//!   with machine-readable JSON output.
+//!   with machine-readable JSON output (schema version 1);
+//! * [`CredError`] — the unified front-end error type with stable
+//!   machine-readable codes.
+//!
+//! The pre-redesign entry points (`sweep`, `sweep_cached`, `par_sweep`,
+//! `par_sweep_with`, `par_sweep_resilient`) survive as `#[deprecated]`
+//! wrappers over the same engine and will be removed once out-of-tree
+//! callers migrate.
 
+pub mod api;
 pub mod cache;
+pub mod error;
 pub mod suite;
+
+pub use api::{point_json, CacheStats, ExploreOptions, ExploreRequest, ExploreResponse};
+pub use error::CredError;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -95,17 +108,40 @@ fn point_from_plan(g: &Dfg, f: usize, plan: &FactorPlan, n: u64, mode: DecMode) 
     }
 }
 
-/// Evaluate unfolding factors `1..=max_f`.
-pub fn sweep(g: &Dfg, max_f: usize, n: u64, mode: DecMode) -> Vec<TradeoffPoint> {
+/// Evaluate unfolding factors `1..=max_f` through the *reference*
+/// pipeline: every point recomputes its own W/D matrices and solves from
+/// scratch, with no cache, no warm starts, and no panic isolation.
+///
+/// This is deliberately the slow path. It exists as the differential
+/// oracle the engine ([`ExploreRequest`]) is tested against and as the
+/// baseline the benchmarks measure speedups from — do not "optimize" it
+/// onto the shared engine, or the differential tests stop testing
+/// anything.
+pub fn sweep_reference(g: &Dfg, max_f: usize, n: u64, mode: DecMode) -> Vec<TradeoffPoint> {
     (1..=max_f)
         .map(|f| point_for_factor(g, f, n, mode))
         .collect()
 }
 
-/// [`sweep`] through the memoized engine: plans come from `cache`, so W/D
+/// Evaluate unfolding factors `1..=max_f`.
+#[deprecated(
+    since = "0.1.0",
+    note = "build an `ExploreRequest` instead: \
+            `ExploreRequest::new(g).max_f(max_f).trip_count(n).mode(mode).run()?.points` \
+            (or `sweep_reference` if you need the differential oracle)"
+)]
+pub fn sweep(g: &Dfg, max_f: usize, n: u64, mode: DecMode) -> Vec<TradeoffPoint> {
+    sweep_points(g, max_f, n, mode, 1, &SweepCache::new())
+}
+
+/// `sweep` through the memoized engine: plans come from `cache`, so W/D
 /// matrices are computed once per factor and repeated sweeps of the same
-/// graph are answered from the memo table. Returns exactly what [`sweep`]
-/// returns.
+/// graph are answered from the memo table.
+#[deprecated(
+    since = "0.1.0",
+    note = "build an `ExploreRequest` and pass the shared cache to \
+            `run_with(&cache)` instead"
+)]
 pub fn sweep_cached(
     g: &Dfg,
     max_f: usize,
@@ -113,13 +149,15 @@ pub fn sweep_cached(
     mode: DecMode,
     cache: &SweepCache,
 ) -> Vec<TradeoffPoint> {
-    (1..=max_f)
-        .map(|f| point_from_plan(g, f, &cache.plan(g, f), n, mode))
-        .collect()
+    sweep_points(g, max_f, n, mode, 1, cache)
 }
 
-/// [`sweep`] sharded across `threads` scoped worker threads, with a
-/// private [`SweepCache`] for the call. See [`par_sweep_with`].
+/// The sweep sharded across `threads` scoped worker threads, with a
+/// private [`SweepCache`] for the call.
+#[deprecated(
+    since = "0.1.0",
+    note = "build an `ExploreRequest` with `.threads(threads)` instead"
+)]
 pub fn par_sweep(
     g: &Dfg,
     max_f: usize,
@@ -127,17 +165,16 @@ pub fn par_sweep(
     mode: DecMode,
     threads: usize,
 ) -> Vec<TradeoffPoint> {
-    par_sweep_with(g, max_f, n, mode, threads, &SweepCache::new())
+    sweep_points(g, max_f, n, mode, threads, &SweepCache::new())
 }
 
-/// [`sweep`] sharded across `threads` scoped worker threads sharing
+/// The sweep sharded across `threads` scoped worker threads sharing
 /// `cache`.
-///
-/// Workers claim unfolding factors from an atomic counter (work stealing,
-/// not static chunking: large factors unfold to larger graphs, so the work
-/// per factor is very uneven). Each point is produced independently of the
-/// others, so the result is identical to [`sweep`]'s regardless of thread
-/// count or interleaving; the output is sorted back into factor order.
+#[deprecated(
+    since = "0.1.0",
+    note = "build an `ExploreRequest` with `.threads(threads)` and pass \
+            the shared cache to `run_with(&cache)` instead"
+)]
 pub fn par_sweep_with(
     g: &Dfg,
     max_f: usize,
@@ -146,34 +183,27 @@ pub fn par_sweep_with(
     threads: usize,
     cache: &SweepCache,
 ) -> Vec<TradeoffPoint> {
-    let threads = threads.clamp(1, max_f.max(1));
-    if threads == 1 {
-        return sweep_cached(g, max_f, n, mode, cache);
+    sweep_points(g, max_f, n, mode, threads, cache)
+}
+
+/// Engine helper shared by the deprecated wrappers and the constrained
+/// searches: an unlimited-budget sweep that preserves the historical
+/// "panic on worker failure" contract of the pre-redesign entry points.
+fn sweep_points(
+    g: &Dfg,
+    max_f: usize,
+    n: u64,
+    mode: DecMode,
+    threads: usize,
+    cache: &SweepCache,
+) -> Vec<TradeoffPoint> {
+    let report = resilient_sweep(g, max_f, n, mode, threads, cache, &Budget::unlimited());
+    for o in &report.outcomes {
+        if let PointStatus::Failed(msg) = &o.status {
+            panic!("sweep worker panicked at f = {}: {msg}", o.f);
+        }
     }
-    let next = AtomicUsize::new(1);
-    let mut tagged: Vec<(usize, TradeoffPoint)> = std::thread::scope(|s| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let f = next.fetch_add(1, Ordering::Relaxed);
-                        if f > max_f {
-                            break;
-                        }
-                        out.push((f, point_from_plan(g, f, &cache.plan(g, f), n, mode)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("sweep worker panicked"))
-            .collect()
-    });
-    tagged.sort_unstable_by_key(|&(f, _)| f);
-    tagged.into_iter().map(|(_, p)| p).collect()
+    report.points()
 }
 
 /// How one unfolding factor fared in a [`par_sweep_resilient`].
@@ -247,9 +277,28 @@ impl SweepReport {
     }
 }
 
-/// [`par_sweep_with`] hardened for hostile conditions: every factor runs
-/// under `budget`, panics are isolated per point, and nothing is silently
+/// The sweep hardened for hostile conditions: every factor runs under
+/// `budget`, panics are isolated per point, and nothing is silently
 /// wrong — each outcome says exactly what happened.
+#[deprecated(
+    since = "0.1.0",
+    note = "build an `ExploreRequest` with `.deadline(..)`/`.work_limit(..)`/\
+            `.cancel(..)` and inspect `ExploreResponse::report` instead"
+)]
+pub fn par_sweep_resilient(
+    g: &Dfg,
+    max_f: usize,
+    n: u64,
+    mode: DecMode,
+    threads: usize,
+    cache: &SweepCache,
+    budget: &Budget,
+) -> SweepReport {
+    resilient_sweep(g, max_f, n, mode, threads, cache, budget)
+}
+
+/// The engine core behind [`ExploreRequest`] and every legacy wrapper:
+/// the budgeted, panic-isolating, work-stealing sweep.
 ///
 /// Per factor, the ladder is:
 ///
@@ -267,7 +316,7 @@ impl SweepReport {
 /// The returned outcomes are deterministic for a given budget *except*
 /// for deadline/cancellation timing, which may truncate different factors
 /// on different runs; work-unit budgets are fully deterministic.
-pub fn par_sweep_resilient(
+pub(crate) fn resilient_sweep(
     g: &Dfg,
     max_f: usize,
     n: u64,
@@ -365,7 +414,7 @@ pub fn best_under_code_budget(
     n: u64,
     mode: DecMode,
 ) -> Option<TradeoffPoint> {
-    sweep(g, max_f, n, mode)
+    sweep_points(g, max_f, n, mode, 1, &SweepCache::new())
         .into_iter()
         .filter(|p| p.cred_size <= l_req)
         .min_by(|a, b| a.iteration_period.cmp(&b.iteration_period))
@@ -437,7 +486,7 @@ mod tests {
     #[test]
     fn sweep_reports_monotone_period_improvement() {
         let g = sample();
-        let pts = sweep(&g, 4, 60, DecMode::Bulk);
+        let pts = sweep_reference(&g, 4, 60, DecMode::Bulk);
         assert_eq!(pts.len(), 4);
         // Iteration period is non-increasing in f (more parallelism can
         // only help when rate-optimal retiming is applied each time).
@@ -454,7 +503,7 @@ mod tests {
     #[test]
     fn cred_size_grows_linearly_with_f() {
         let g = sample();
-        let pts = sweep(&g, 4, 60, DecMode::Bulk);
+        let pts = sweep_reference(&g, 4, 60, DecMode::Bulk);
         let l = g.node_count();
         for p in &pts {
             assert_eq!(p.cred_size, p.f * l + 2 * p.registers);
@@ -464,7 +513,7 @@ mod tests {
     #[test]
     fn pareto_removes_dominated_points() {
         let g = sample();
-        let pts = sweep(&g, 4, 60, DecMode::Bulk);
+        let pts = sweep_reference(&g, 4, 60, DecMode::Bulk);
         let front = pareto(&pts);
         assert!(!front.is_empty());
         assert!(front.len() <= pts.len());
@@ -513,7 +562,7 @@ mod tests {
     #[test]
     fn swept_configurations_all_verify() {
         let g = sample();
-        for p in sweep(&g, 3, 31, DecMode::PerCopy) {
+        for p in sweep_reference(&g, 3, 31, DecMode::PerCopy) {
             // Re-generate and verify the winning configuration end-to-end.
             let u = unfold(&g, p.f);
             let opt = min_period_retiming(&u.graph);

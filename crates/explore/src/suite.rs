@@ -13,8 +13,14 @@ use std::path::Path;
 use cred_codegen::DecMode;
 use cred_dfg::Dfg;
 
+use crate::api::{point_json, ExploreOptions, ExploreRequest};
 use crate::cache::SweepCache;
-use crate::{par_sweep_with, TradeoffPoint};
+use crate::TradeoffPoint;
+
+/// JSON schema version stamped into [`SuiteReport::to_json`] and into
+/// every `cred-service` response. Bump only with a compat plan: the
+/// committed v1 golden files replay against whatever claims version 1.
+pub const SCHEMA_VERSION: u32 = 1;
 
 /// The sweep of one kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,7 +79,8 @@ pub fn load_kernels(dir: &Path) -> io::Result<Vec<(String, Dfg)>> {
     Ok(kernels)
 }
 
-/// Sweep every kernel with [`par_sweep_with`], sharing one cache.
+/// Sweep every kernel through one [`ExploreRequest`] per kernel, sharing
+/// one cache across the whole suite.
 pub fn explore_suite(
     kernels: &[(String, Dfg)],
     max_f: usize,
@@ -82,12 +89,25 @@ pub fn explore_suite(
     threads: usize,
 ) -> SuiteReport {
     let cache = SweepCache::new();
+    let opts = ExploreOptions {
+        max_f,
+        n,
+        mode,
+        threads,
+        strict: false,
+    };
     let reports = kernels
         .iter()
-        .map(|(name, g)| KernelReport {
-            name: name.clone(),
-            nodes: g.node_count(),
-            points: par_sweep_with(g, max_f, n, mode, threads, &cache),
+        .map(|(name, g)| {
+            let resp = ExploreRequest::new(g.clone())
+                .options(opts.clone())
+                .run_with(&cache)
+                .expect("an unlimited-budget suite sweep cannot exhaust");
+            KernelReport {
+                name: name.clone(),
+                nodes: g.node_count(),
+                points: resp.points,
+            }
         })
         .collect();
     SuiteReport {
@@ -107,6 +127,7 @@ impl SuiteReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", SCHEMA_VERSION));
         out.push_str(&format!("  \"max_f\": {},\n", self.max_f));
         out.push_str(&format!("  \"n\": {},\n", self.n));
         let mode = match self.mode {
@@ -140,20 +161,6 @@ impl SuiteReport {
         out.push_str("\n  ]\n}\n");
         out
     }
-}
-
-fn point_json(p: &TradeoffPoint) -> String {
-    format!(
-        "{{ \"f\": {}, \"m_r\": {}, \"plain_size\": {}, \"cred_size\": {}, \
-         \"period\": {{ \"num\": {}, \"den\": {} }}, \"registers\": {} }}",
-        p.f,
-        p.m_r,
-        p.plain_size,
-        p.cred_size,
-        p.iteration_period.num(),
-        p.iteration_period.den(),
-        p.registers
-    )
 }
 
 /// Minimal JSON string encoder (kernel names are file stems, but escape
@@ -200,7 +207,7 @@ mod tests {
     fn suite_points_match_serial_sweep() {
         let kernels = vec![("k".to_string(), gen::chain_with_feedback(6, 3))];
         let report = explore_suite(&kernels, 4, 60, DecMode::PerCopy, 4);
-        let serial = crate::sweep(&kernels[0].1, 4, 60, DecMode::PerCopy);
+        let serial = crate::sweep_reference(&kernels[0].1, 4, 60, DecMode::PerCopy);
         assert_eq!(report.kernels[0].points, serial);
     }
 

@@ -1,6 +1,12 @@
 //! Differential tests: the parallel, memoized sweep must be
 //! indistinguishable from the serial reference sweep — on random graphs,
 //! on every bundled kernel, and through the shared-cache suite runner.
+//!
+//! These are the deprecated wrappers' own tests: they deliberately call
+//! `sweep`/`par_sweep`/...` to pin the wrappers to the [`sweep_reference`]
+//! oracle until the wrappers are removed.
+
+#![allow(deprecated)]
 
 use std::path::Path;
 
@@ -8,7 +14,7 @@ use cred_codegen::DecMode;
 use cred_dfg::gen::{self, RandomDfgConfig};
 use cred_explore::cache::SweepCache;
 use cred_explore::suite::load_kernels;
-use cred_explore::{par_sweep, par_sweep_with, sweep, sweep_cached};
+use cred_explore::{par_sweep, par_sweep_with, sweep, sweep_cached, sweep_reference};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -32,7 +38,9 @@ proptest! {
                 ..Default::default()
             },
         );
-        let serial = sweep(&g, max_f, 60, DecMode::Bulk);
+        let serial = sweep_reference(&g, max_f, 60, DecMode::Bulk);
+        let wrapped = sweep(&g, max_f, 60, DecMode::Bulk);
+        prop_assert_eq!(&serial, &wrapped);
         let parallel = par_sweep(&g, max_f, 60, DecMode::Bulk, threads);
         prop_assert_eq!(serial, parallel);
     }
@@ -65,7 +73,8 @@ fn par_sweep_matches_sweep_on_all_bundled_kernels() {
     assert_eq!(kernels.len(), 10);
     let cache = SweepCache::new();
     for (name, g) in &kernels {
-        let serial = sweep(g, 3, 100, DecMode::Bulk);
+        let serial = sweep_reference(g, 3, 100, DecMode::Bulk);
+        assert_eq!(serial, sweep(g, 3, 100, DecMode::Bulk), "kernel {name}");
         for threads in [1, 2, 4, 8] {
             let parallel = par_sweep_with(g, 3, 100, DecMode::Bulk, threads, &cache);
             assert_eq!(serial, parallel, "kernel {name} at {threads} threads");

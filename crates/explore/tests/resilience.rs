@@ -5,6 +5,11 @@
 //! `[dev-dependencies]`), so the registry is live; each test installs its
 //! plan under the process-global install lock, which also serializes the
 //! tests against each other.
+//!
+//! The sweeps here go through the deprecated wrappers on purpose: they
+//! are the wrappers' own tests, pinning them to the engine until removal.
+
+#![allow(deprecated)]
 
 use std::sync::Arc;
 use std::time::Duration;

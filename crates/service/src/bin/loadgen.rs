@@ -1,0 +1,324 @@
+//! Load generator for `credc serve`: N concurrent clients, M requests
+//! each, against either a running server (`--addr`) or an in-process
+//! server it spawns itself.
+//!
+//! Reports throughput and exact p50/p99 client-side latency, checks
+//! every response bit-for-bit against a cold in-process
+//! [`ExploreRequest`] run, and compares against a sequential baseline —
+//! the same total number of requests evaluated one at a time with a
+//! fresh cache each, i.e. what N separate `credc explore` invocations
+//! would do. Results land in `BENCH_serve.json` via `--out`.
+//!
+//! Exit status is nonzero if any request fails or any response's points
+//! differ from the cold run.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cred_explore::suite::{load_kernels, SCHEMA_VERSION};
+use cred_explore::{point_json, ExploreRequest};
+use cred_service::{Server, ServiceConfig};
+
+struct Args {
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    kernels: PathBuf,
+    max_f: usize,
+    n: u64,
+    out: Option<PathBuf>,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        clients: 8,
+        requests: 50,
+        kernels: PathBuf::from("kernels"),
+        max_f: 3,
+        n: 100,
+        out: None,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|_| "--clients must be a positive integer".to_string())?
+            }
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests must be a positive integer".to_string())?
+            }
+            "--kernels" => args.kernels = PathBuf::from(value("--kernels")?),
+            "--max-unfold" => {
+                args.max_f = value("--max-unfold")?
+                    .parse()
+                    .map_err(|_| "--max-unfold must be a positive integer".to_string())?
+            }
+            "--n" => {
+                args.n = value("--n")?
+                    .parse()
+                    .map_err(|_| "--n must be a positive integer".to_string())?
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--shutdown" => args.shutdown = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.clients < 1 || args.requests < 1 {
+        return Err("--clients and --requests must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+/// One client's work: a connection, its share of the request mix, and
+/// per-request validation against the expected points.
+fn client_run(
+    addr: &str,
+    client_id: usize,
+    requests: usize,
+    names: &[String],
+    expected: &HashMap<String, String>,
+    max_f: usize,
+    n: u64,
+) -> Result<Vec<Duration>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut stream = stream;
+    let mut latencies = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let name = &names[(client_id * requests + i) % names.len()];
+        let line = format!(
+            "{{\"type\":\"explore\",\"id\":\"c{client_id}-{i}\",\"kernel\":\"{name}\",\
+             \"max_f\":{max_f},\"n\":{n}}}\n"
+        );
+        let start = Instant::now();
+        stream
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+        let mut resp = String::new();
+        reader
+            .read_line(&mut resp)
+            .map_err(|e| format!("read: {e}"))?;
+        latencies.push(start.elapsed());
+        if resp.is_empty() {
+            return Err("server closed the connection".to_string());
+        }
+        if !resp.contains("\"ok\":true") {
+            return Err(format!("request c{client_id}-{i} failed: {}", resp.trim()));
+        }
+        let want = &expected[name];
+        if !resp.contains(want.as_str()) {
+            return Err(format!(
+                "kernel {name}: response points differ from the cold run\n  want … {want}"
+            ));
+        }
+    }
+    Ok(latencies)
+}
+
+fn one_request(addr: &str, line: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(line.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    reader
+        .read_line(&mut resp)
+        .map_err(|e| format!("read: {e}"))?;
+    Ok(resp.trim().to_string())
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let kernels = load_kernels(&args.kernels)
+        .map_err(|e| format!("loading kernels from {}: {e}", args.kernels.display()))?;
+    if kernels.is_empty() {
+        return Err(format!("no .loop kernels in {}", args.kernels.display()));
+    }
+    let names: Vec<String> = kernels.iter().map(|(n, _)| n.clone()).collect();
+
+    // Cold in-process runs: the ground truth every server response must
+    // match bit-for-bit, and the per-request cost of the baseline.
+    let mut expected = HashMap::new();
+    for (name, g) in &kernels {
+        let resp = ExploreRequest::new(g.clone())
+            .max_f(args.max_f)
+            .trip_count(args.n)
+            .run()
+            .map_err(|e| format!("cold run of {name}: {e}"))?;
+        let points: Vec<String> = resp.points.iter().map(point_json).collect();
+        expected.insert(name.clone(), format!("\"points\":[{}]", points.join(",")));
+    }
+
+    let total = args.clients * args.requests;
+
+    // Sequential baseline: `total` cold evaluations, fresh cache each —
+    // what issuing the same workload as separate CLI invocations costs
+    // in solver time alone (no process spawning, so it flatters the
+    // baseline if anything).
+    let baseline_start = Instant::now();
+    for i in 0..total {
+        let (_, g) = &kernels[i % kernels.len()];
+        ExploreRequest::new(g.clone())
+            .max_f(args.max_f)
+            .trip_count(args.n)
+            .run()
+            .map_err(|e| format!("baseline run: {e}"))?;
+    }
+    let baseline = baseline_start.elapsed();
+
+    // Target server: the given address, or one spawned in-process.
+    let (addr, server_thread) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server = Server::bind(ServiceConfig {
+                addr: "127.0.0.1:0".to_string(),
+                kernels_dir: Some(args.kernels.clone()),
+                ..ServiceConfig::default()
+            })
+            .map_err(|e| format!("spawning server: {e}"))?;
+            let addr = server
+                .local_addr()
+                .map_err(|e| format!("local addr: {e}"))?
+                .to_string();
+            (addr, Some(std::thread::spawn(move || server.run())))
+        }
+    };
+
+    let expected = Arc::new(expected);
+    let names = Arc::new(names);
+    let serve_start = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let names = Arc::clone(&names);
+            let expected = Arc::clone(&expected);
+            let (requests, max_f, n) = (args.requests, args.max_f, args.n);
+            std::thread::spawn(move || client_run(&addr, c, requests, &names, &expected, max_f, n))
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(total);
+    let mut failures = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok(Ok(mut l)) => latencies.append(&mut l),
+            Ok(Err(msg)) => failures.push(msg),
+            Err(_) => failures.push("client thread panicked".to_string()),
+        }
+    }
+    let served = serve_start.elapsed();
+
+    let stats = one_request(&addr, "{\"type\":\"stats\",\"id\":\"loadgen\"}\n")?;
+    let shutdown_spawned = server_thread.is_some();
+    if args.shutdown || shutdown_spawned {
+        one_request(&addr, "{\"type\":\"shutdown\"}\n")?;
+    }
+    if let Some(t) = server_thread {
+        t.join()
+            .map_err(|_| "server thread panicked".to_string())?
+            .map_err(|e| format!("server: {e}"))?;
+    }
+
+    latencies.sort_unstable();
+    let baseline_rps = total as f64 / baseline.as_secs_f64();
+    let server_rps = total as f64 / served.as_secs_f64();
+    let speedup = server_rps / baseline_rps;
+    let p50 = percentile(&latencies, 50.0);
+    let p99 = percentile(&latencies, 99.0);
+
+    let report = format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"clients\": {},\n  \
+         \"requests_per_client\": {},\n  \"total_requests\": {total},\n  \
+         \"max_f\": {},\n  \"n\": {},\n  \"kernel_count\": {},\n  \
+         \"baseline\": {{ \"seconds\": {:.6}, \"rps\": {:.1} }},\n  \
+         \"server\": {{ \"seconds\": {:.6}, \"rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {} }},\n  \
+         \"speedup\": {:.2},\n  \"server_stats\": {}\n}}\n",
+        args.clients,
+        args.requests,
+        args.max_f,
+        args.n,
+        names.len(),
+        baseline.as_secs_f64(),
+        baseline_rps,
+        served.as_secs_f64(),
+        server_rps,
+        p50.as_micros(),
+        p99.as_micros(),
+        speedup,
+        // Peel the stats object out of the response envelope: the body
+        // is everything after "stats": minus the envelope's final '}'.
+        stats
+            .split_once("\"stats\":")
+            .and_then(|(_, tail)| tail.strip_suffix('}'))
+            .map(str::to_string)
+            .unwrap_or_else(|| "null".to_string()),
+    );
+
+    println!(
+        "loadgen: {total} requests, {} ok, {} failed",
+        latencies.len(),
+        failures.len()
+    );
+    println!(
+        "  baseline (sequential, cold cache): {:>8.1} req/s",
+        baseline_rps
+    );
+    println!(
+        "  server ({} clients):               {:>8.1} req/s  (p50 {} µs, p99 {} µs)",
+        args.clients,
+        server_rps,
+        p50.as_micros(),
+        p99.as_micros()
+    );
+    println!("  speedup: {speedup:.2}x");
+    if let Some(out) = &args.out {
+        std::fs::write(out, &report).map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!("  wrote {}", out.display());
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} client(s) failed; first: {}",
+            failures.len(),
+            failures[0]
+        ));
+    }
+    Ok(())
+}

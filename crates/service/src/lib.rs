@@ -1,0 +1,26 @@
+//! `cred-service`: a long-running, multi-client evaluation server for
+//! CRED design-space exploration.
+//!
+//! The library behind `credc serve`. Clients connect over TCP and speak
+//! newline-delimited JSON; each `explore` request is one
+//! [`ExploreRequest`](cred_explore::ExploreRequest) evaluated against a
+//! process-wide shared [`SweepCache`](cred_explore::cache::SweepCache),
+//! with identical in-flight requests coalesced onto a single computation
+//! ([`coalesce`]). Admission control anchors every request's deadline at
+//! arrival and answers overstayed requests with typed budget errors
+//! instead of dropped connections ([`server`]). Counters and latency
+//! histograms are exported through the `stats` request and the
+//! `--metrics-dump` file ([`metrics`]).
+//!
+//! The `loadgen` binary in this crate drives a server with N concurrent
+//! clients and records throughput and tail latency against a sequential
+//! baseline (`BENCH_serve.json`).
+
+pub mod coalesce;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use coalesce::{Coalescer, Role};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use server::{Server, ServiceConfig};

@@ -1,0 +1,231 @@
+//! Service observability: lock-free counters and a latency histogram.
+//!
+//! Every counter is a relaxed [`AtomicU64`] — the hot path pays one
+//! uncontended atomic add per event. Latencies go into a log2-bucketed
+//! microsecond histogram (64 buckets cover 1 µs to ~584 000 years), from
+//! which percentiles are estimated as the upper bound of the bucket
+//! containing the rank — a ≤2x overestimate, stable and monotone, which
+//! is what a load test needs from p99.
+//!
+//! A [`MetricsSnapshot`] freezes all counters at once and renders the
+//! `stats` response body (and the `--metrics-dump` file).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use cred_explore::CacheStats;
+
+const BUCKETS: usize = 64;
+
+/// Log2-bucketed latency histogram over microseconds.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(micros: u64) -> usize {
+        // Bucket b holds values with highest set bit b: [2^b, 2^(b+1)).
+        // 0 µs lands in bucket 0 alongside 1 µs.
+        (63 - micros.max(1).leading_zeros()) as usize
+    }
+
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// Percentile estimate over a frozen bucket array: the upper bound (in
+/// µs) of the bucket holding the `p`-th observation.
+pub fn percentile_micros(buckets: &[u64; BUCKETS], p: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    // Rank of the observation we want, 1-based, clamped into range.
+    let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (b, count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return if b + 1 >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << (b + 1)) - 1
+            };
+        }
+    }
+    u64::MAX
+}
+
+/// The service's counters. One instance per server, shared by all
+/// workers.
+#[derive(Default)]
+pub struct Metrics {
+    /// Request lines received (any type, well-formed or not).
+    pub requests: AtomicU64,
+    /// Responses with `"ok": true`.
+    pub ok: AtomicU64,
+    /// Responses with `"ok": false`.
+    pub errors: AtomicU64,
+    /// Explore computations actually executed (coalesce leaders).
+    pub explore_computes: AtomicU64,
+    /// Explore requests served by joining another request's flight.
+    pub coalesced_joins: AtomicU64,
+    /// Degraded points across all responses.
+    pub degraded_points: AtomicU64,
+    /// Failed points across all responses.
+    pub failed_points: AtomicU64,
+    /// Requests rejected or cut off with a budget-exhausted error.
+    pub budget_exhaustions: AtomicU64,
+    /// Latency of explore requests, arrival to response rendered.
+    pub explore_latency: Histogram,
+}
+
+impl Metrics {
+    /// Bump `counter` by one (relaxed; counters are statistically read).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freeze every counter, pairing it with the shared cache's stats.
+    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+        let latency = self.explore_latency.snapshot();
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            explore_computes: self.explore_computes.load(Ordering::Relaxed),
+            coalesced_joins: self.coalesced_joins.load(Ordering::Relaxed),
+            degraded_points: self.degraded_points.load(Ordering::Relaxed),
+            failed_points: self.failed_points.load(Ordering::Relaxed),
+            budget_exhaustions: self.budget_exhaustions.load(Ordering::Relaxed),
+            p50_micros: percentile_micros(&latency, 50.0),
+            p99_micros: percentile_micros(&latency, 99.0),
+            cache,
+        }
+    }
+}
+
+/// All counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::requests`].
+    pub requests: u64,
+    /// See [`Metrics::ok`].
+    pub ok: u64,
+    /// See [`Metrics::errors`].
+    pub errors: u64,
+    /// See [`Metrics::explore_computes`].
+    pub explore_computes: u64,
+    /// See [`Metrics::coalesced_joins`].
+    pub coalesced_joins: u64,
+    /// See [`Metrics::degraded_points`].
+    pub degraded_points: u64,
+    /// See [`Metrics::failed_points`].
+    pub failed_points: u64,
+    /// See [`Metrics::budget_exhaustions`].
+    pub budget_exhaustions: u64,
+    /// Estimated median explore latency (µs, bucket upper bound).
+    pub p50_micros: u64,
+    /// Estimated 99th-percentile explore latency (µs).
+    pub p99_micros: u64,
+    /// Shared sweep-cache counters.
+    pub cache: CacheStats,
+}
+
+impl MetricsSnapshot {
+    /// Render as a compact JSON object (the body of a `stats` response).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"ok\":{},\"errors\":{},\"explore_computes\":{},\
+             \"coalesced_joins\":{},\"degraded_points\":{},\"failed_points\":{},\
+             \"budget_exhaustions\":{},\"explore_latency\":{{\"p50_us\":{},\"p99_us\":{}}},\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"poison_recoveries\":{}}}}}",
+            self.requests,
+            self.ok,
+            self.errors,
+            self.explore_computes,
+            self.coalesced_joins,
+            self.degraded_points,
+            self.failed_points,
+            self.budget_exhaustions,
+            self.p50_micros,
+            self.p99_micros,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.poison_recoveries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_by_microsecond() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn percentiles_walk_the_distribution() {
+        let h = Histogram::default();
+        // 99 fast observations (~100 µs) and one slow outlier (~1 s).
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_secs(1));
+        let snap = h.snapshot();
+        let p50 = percentile_micros(&snap, 50.0);
+        let p99 = percentile_micros(&snap, 99.0);
+        let p100 = percentile_micros(&snap, 100.0);
+        assert!((100..=255).contains(&p50), "p50 = {p50}");
+        assert!((100..=255).contains(&p99), "p99 = {p99}, rank 99 of 100");
+        assert!(p100 >= 1_000_000, "p100 must see the outlier, got {p100}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(percentile_micros(&h.snapshot(), 99.0), 0);
+    }
+
+    #[test]
+    fn snapshot_renders_parseable_json() {
+        let m = Metrics::default();
+        Metrics::bump(&m.requests);
+        Metrics::bump(&m.ok);
+        m.explore_latency.record(Duration::from_micros(250));
+        let snap = m.snapshot(CacheStats::default());
+        let j = snap.to_json();
+        let v = crate::json::parse(&j).expect("stats JSON parses");
+        assert_eq!(v.get("requests").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("ok").and_then(|x| x.as_u64()), Some(1));
+        assert!(v.get("explore_latency").is_some());
+        assert!(v.get("cache").is_some());
+    }
+}

@@ -1,0 +1,607 @@
+//! The evaluation server: NDJSON over TCP, a worker pool, one shared
+//! cache, and per-request admission control.
+//!
+//! # Protocol
+//!
+//! One JSON object per line, both directions. Requests carry a `"type"`
+//! (`ping`, `stats`, `explore`, `shutdown`) and an optional `"id"`, which
+//! is echoed verbatim into the response. Every response carries
+//! `"ok"` and `"schema_version"`; failures carry
+//! `"error": {"code", "message"}` with the stable codes of
+//! [`CredError::code`].
+//!
+//! # Concurrency model
+//!
+//! The accept loop is non-blocking and hands connections to a fixed pool
+//! of worker threads over a channel; each worker owns one connection at a
+//! time and polls it with a short read timeout so the shutdown flag is
+//! observed within a few hundred milliseconds. Identical concurrent
+//! explore requests — same kernel fingerprint, `max_f`, `n`, and mode —
+//! coalesce onto one computation ([`crate::coalesce`]); everything the
+//! leader computes lands in the process-wide [`SweepCache`] shared by
+//! every request thereafter.
+//!
+//! # Admission control
+//!
+//! A request's deadline is anchored at *arrival* (the moment its line was
+//! read), not at solver start: a request that has already overstayed when
+//! a worker picks it up — or that finishes its coalesced computation too
+//! late — is answered with a typed `budget-exhausted` error rather than a
+//! dropped connection or a stale success.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cred_codegen::DecMode;
+use cred_dfg::Dfg;
+use cred_explore::cache::SweepCache;
+use cred_explore::suite::{load_kernels, SCHEMA_VERSION};
+use cred_explore::{point_json, CacheStats, CredError, ExploreRequest, ExploreResponse};
+use cred_resilience::{CancelToken, Exhausted};
+
+use crate::coalesce::{Coalescer, Role};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+
+/// Hard cap on one request line. Sources are small; anything beyond this
+/// is rejected as a protocol error and the connection closed.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// How long a worker blocks in `read` before re-checking the shutdown
+/// flag.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Largest accepted `max_f` (the sweep is exponential in `f`; 16 is far
+/// beyond the paper's design space).
+const MAX_MAX_F: usize = 16;
+
+/// Largest accepted trip count.
+const MAX_N: u64 = 1 << 40;
+
+/// Largest accepted `debug_delay_ms` (a test hook must not wedge a
+/// worker for long).
+const MAX_DEBUG_DELAY_MS: u64 = 5_000;
+
+/// Server configuration, normally built from `credc serve` flags.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Capacity of the process-wide [`SweepCache`].
+    pub cache_capacity: usize,
+    /// Default per-request deadline applied when a request names none.
+    /// `None` means unlimited.
+    pub default_deadline: Option<Duration>,
+    /// Directory of `.loop` kernels served by name. `None` disables
+    /// named-kernel requests (sources still work).
+    pub kernels_dir: Option<PathBuf>,
+    /// Where to write a final metrics snapshot on shutdown.
+    pub metrics_dump: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            cache_capacity: 1024,
+            default_deadline: None,
+            kernels_dir: None,
+            metrics_dump: None,
+        }
+    }
+}
+
+/// The deduplication key of an explore request
+/// ([`ExploreRequest::coalesce_key`]).
+type ExploreKey = (u64, usize, u64, u8);
+
+/// The shared outcome of one coalesced explore computation: the leader
+/// computes it once, every joiner clones the `Arc`.
+type SharedOutcome = Arc<Result<ExploreResponse, CredError>>;
+
+/// Everything the workers share.
+struct Shared {
+    cache: SweepCache,
+    kernels: HashMap<String, Dfg>,
+    metrics: Metrics,
+    coalescer: Coalescer<ExploreKey, SharedOutcome>,
+    shutdown: AtomicBool,
+    /// Cancelled on shutdown so in-flight solves stop cooperatively.
+    master_cancel: CancelToken,
+    default_deadline: Option<Duration>,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: usize,
+    metrics_dump: Option<PathBuf>,
+}
+
+impl Server {
+    /// Bind the listen socket and load the named-kernel table. The
+    /// server does not accept connections until [`run`](Self::run).
+    pub fn bind(config: ServiceConfig) -> Result<Server, CredError> {
+        if config.workers < 1 {
+            return Err(CredError::Protocol("workers must be at least 1".into()));
+        }
+        if config.cache_capacity < 1 {
+            return Err(CredError::Protocol(
+                "cache capacity must be at least 1".into(),
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| CredError::Io(format!("bind {}: {e}", config.addr)))?;
+        let kernels = match &config.kernels_dir {
+            Some(dir) => load_kernels(dir)
+                .map_err(|e| CredError::Io(format!("loading kernels: {e}")))?
+                .into_iter()
+                .collect(),
+            None => HashMap::new(),
+        };
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cache: SweepCache::with_capacity(config.cache_capacity),
+                kernels,
+                metrics: Metrics::default(),
+                coalescer: Coalescer::new(),
+                shutdown: AtomicBool::new(false),
+                master_cancel: CancelToken::new(),
+                default_deadline: config.default_deadline,
+            }),
+            workers: config.workers,
+            metrics_dump: config.metrics_dump,
+        })
+    }
+
+    /// The bound address (useful when the config asked for port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept and serve until a `shutdown` request arrives. Returns after
+    /// every worker has drained, the master cancel token has fired, and
+    /// the optional metrics dump has been written.
+    pub fn run(self) -> Result<(), CredError> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::with_capacity(self.workers);
+        for i in 0..self.workers {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&self.shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cred-service-worker-{i}"))
+                    .spawn(move || worker_loop(rx, shared))
+                    .map_err(|e| CredError::Io(format!("spawning worker: {e}")))?,
+            );
+        }
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // A send can only fail if every worker died, which
+                    // only happens on shutdown.
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(CredError::Io(format!("accept: {e}"))),
+            }
+        }
+        // Stop in-flight solves, then let workers observe the flag at
+        // their next read poll.
+        self.shared.master_cancel.cancel();
+        drop(tx);
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.metrics_dump {
+            let snap = self
+                .shared
+                .metrics
+                .snapshot(CacheStats::of(&self.shared.cache));
+            std::fs::write(path, snap.to_json() + "\n")
+                .map_err(|e| CredError::Io(format!("writing {}: {e}", path.display())))?;
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: Arc<Shared>) {
+    loop {
+        // Take the next connection; the channel closing means shutdown.
+        let stream = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, &shared),
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serve one connection until it closes, errs, oversizes a line, or the
+/// server shuts down. Uses manual byte-buffer line splitting: a
+/// `BufReader::read_line` would discard a partial line every time the
+/// read timeout fires, corrupting pipelined requests.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                // Drain every complete line currently buffered.
+                while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=nl).collect();
+                    let arrival = Instant::now();
+                    let text = String::from_utf8_lossy(&line[..nl]);
+                    let trimmed = text.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let (response, shutdown) = handle_line(trimmed, arrival, shared);
+                    if stream.write_all(response.as_bytes()).is_err()
+                        || stream.write_all(b"\n").is_err()
+                        || stream.flush().is_err()
+                    {
+                        return;
+                    }
+                    if shutdown {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+                if buf.len() > MAX_LINE_BYTES {
+                    let e =
+                        CredError::Protocol(format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+                    Metrics::bump(&shared.metrics.requests);
+                    Metrics::bump(&shared.metrics.errors);
+                    let _ = stream.write_all((error_response(&None, &e) + "\n").as_bytes());
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handle one request line. Returns the response (no trailing newline)
+/// and whether the server should shut down after sending it.
+fn handle_line(line: &str, arrival: Instant, shared: &Shared) -> (String, bool) {
+    Metrics::bump(&shared.metrics.requests);
+    let req = match json::parse(line) {
+        Ok(v @ Json::Obj(_)) => v,
+        Ok(_) => {
+            Metrics::bump(&shared.metrics.errors);
+            let e = CredError::Protocol("request must be a JSON object".into());
+            return (error_response(&None, &e), false);
+        }
+        Err(msg) => {
+            Metrics::bump(&shared.metrics.errors);
+            let e = CredError::Protocol(format!("bad JSON: {msg}"));
+            return (error_response(&None, &e), false);
+        }
+    };
+    let id = req.get("id").map(Json::to_compact);
+    let outcome = match req.get("type").and_then(Json::as_str) {
+        Some("ping") => Ok(format!("{},\"type\":\"pong\"}}", head(true, &id))),
+        Some("stats") => {
+            let snap = shared.metrics.snapshot(CacheStats::of(&shared.cache));
+            Ok(format!(
+                "{},\"type\":\"stats\",\"stats\":{}}}",
+                head(true, &id),
+                snap.to_json()
+            ))
+        }
+        Some("shutdown") => {
+            let resp = format!("{},\"type\":\"shutdown\"}}", head(true, &id));
+            Metrics::bump(&shared.metrics.ok);
+            return (resp, true);
+        }
+        Some("explore") => handle_explore(&req, &id, arrival, shared),
+        Some(other) => Err(CredError::Protocol(format!(
+            "unknown request type {other:?}"
+        ))),
+        None => Err(CredError::Protocol("missing request type".into())),
+    };
+    match outcome {
+        Ok(resp) => {
+            Metrics::bump(&shared.metrics.ok);
+            (resp, false)
+        }
+        Err(e) => {
+            Metrics::bump(&shared.metrics.errors);
+            if matches!(e, CredError::BudgetExhausted(_)) {
+                Metrics::bump(&shared.metrics.budget_exhaustions);
+            }
+            (error_response(&id, &e), false)
+        }
+    }
+}
+
+/// Decode, admit, coalesce, evaluate, render one explore request.
+fn handle_explore(
+    req: &Json,
+    id: &Option<String>,
+    arrival: Instant,
+    shared: &Shared,
+) -> Result<String, CredError> {
+    let params = ExploreParams::decode(req, shared)?;
+    let deadline = params.deadline.or(shared.default_deadline);
+
+    // Admission: a request that overstayed its deadline in the queue is
+    // rejected before any solver runs.
+    check_deadline(arrival, deadline)?;
+
+    let request = ExploreRequest::new(params.graph)
+        .max_f(params.max_f)
+        .trip_count(params.n)
+        .mode(params.mode)
+        .cancel(shared.master_cancel.clone());
+    let request = match deadline {
+        Some(d) => request.deadline(d),
+        None => request,
+    };
+    let key = request.coalesce_key();
+    let delay = params.debug_delay_ms.map(Duration::from_millis);
+    let (result, role) = shared.coalescer.run(key, || {
+        if let Some(d) = delay {
+            // Test hook: hold the flight open so concurrent identical
+            // requests demonstrably join it.
+            std::thread::sleep(d);
+        }
+        Arc::new(request.run_with(&shared.cache))
+    });
+    match role {
+        Role::Led => Metrics::bump(&shared.metrics.explore_computes),
+        Role::Joined => Metrics::bump(&shared.metrics.coalesced_joins),
+    }
+
+    // The deadline is anchored at arrival: a computation that finished
+    // too late — queued, coalesced onto a slow flight, or just slow — is
+    // an exhaustion, not a success.
+    check_deadline(arrival, deadline)?;
+
+    let resp = match result.as_ref() {
+        Ok(resp) => resp,
+        Err(e) => return Err(e.clone()),
+    };
+    if params.strict {
+        let degraded = resp.degradations().len();
+        if degraded > 0 {
+            return Err(CredError::DegradedUnderStrict { degraded });
+        }
+    }
+    shared
+        .metrics
+        .degraded_points
+        .fetch_add(resp.degradations().len() as u64, Ordering::Relaxed);
+    shared
+        .metrics
+        .failed_points
+        .fetch_add(resp.failures().len() as u64, Ordering::Relaxed);
+    shared.metrics.explore_latency.record(arrival.elapsed());
+    Ok(render_explore(id, resp, role == Role::Joined, shared))
+}
+
+fn check_deadline(arrival: Instant, deadline: Option<Duration>) -> Result<(), CredError> {
+    match deadline {
+        Some(limit) if arrival.elapsed() >= limit => {
+            Err(CredError::BudgetExhausted(Exhausted::Deadline { limit }))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// The decoded parameters of an explore request.
+struct ExploreParams {
+    graph: Dfg,
+    max_f: usize,
+    n: u64,
+    mode: DecMode,
+    strict: bool,
+    deadline: Option<Duration>,
+    debug_delay_ms: Option<u64>,
+}
+
+impl ExploreParams {
+    fn decode(req: &Json, shared: &Shared) -> Result<ExploreParams, CredError> {
+        let graph = match (
+            req.get("kernel").and_then(Json::as_str),
+            req.get("source").and_then(Json::as_str),
+        ) {
+            (Some(_), Some(_)) => {
+                return Err(CredError::Protocol(
+                    "give either \"kernel\" or \"source\", not both".into(),
+                ))
+            }
+            (Some(name), None) => shared
+                .kernels
+                .get(name)
+                .cloned()
+                .ok_or_else(|| CredError::Protocol(format!("unknown kernel {name:?}")))?,
+            (None, Some(src)) => ExploreRequest::from_source(src)?.graph().clone(),
+            (None, None) => {
+                return Err(CredError::Protocol(
+                    "explore needs a \"kernel\" name or a \"source\"".into(),
+                ))
+            }
+        };
+        let max_f = match req.get("max_f") {
+            None => 4,
+            Some(v) => match v.as_u64() {
+                Some(f) if (1..=MAX_MAX_F as u64).contains(&f) => f as usize,
+                _ => {
+                    return Err(CredError::Protocol(format!(
+                        "max_f must be an integer in 1..={MAX_MAX_F}"
+                    )))
+                }
+            },
+        };
+        let n = match req.get("n") {
+            None => 101,
+            Some(v) => match v.as_u64() {
+                Some(n) if (1..=MAX_N).contains(&n) => n,
+                _ => {
+                    return Err(CredError::Protocol(format!(
+                        "n must be an integer in 1..={MAX_N}"
+                    )))
+                }
+            },
+        };
+        let mode = match req.get("mode") {
+            None => DecMode::Bulk,
+            Some(v) => match v.as_str() {
+                Some("bulk") => DecMode::Bulk,
+                Some("per-copy") => DecMode::PerCopy,
+                _ => {
+                    return Err(CredError::Protocol(
+                        "mode must be \"bulk\" or \"per-copy\"".into(),
+                    ))
+                }
+            },
+        };
+        let strict = match req.get("strict") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| CredError::Protocol("strict must be a boolean".into()))?,
+        };
+        let deadline = match req.get("deadline_ms") {
+            None => None,
+            Some(v) => match v.as_u64() {
+                Some(ms) if ms >= 1 => Some(Duration::from_millis(ms)),
+                _ => {
+                    return Err(CredError::Protocol(
+                        "deadline_ms must be an integer >= 1".into(),
+                    ))
+                }
+            },
+        };
+        let debug_delay_ms = match req.get("debug_delay_ms") {
+            None => None,
+            Some(v) => match v.as_u64() {
+                Some(ms) if ms <= MAX_DEBUG_DELAY_MS => Some(ms),
+                _ => {
+                    return Err(CredError::Protocol(format!(
+                        "debug_delay_ms must be an integer <= {MAX_DEBUG_DELAY_MS}"
+                    )))
+                }
+            },
+        };
+        Ok(ExploreParams {
+            graph,
+            max_f,
+            n,
+            mode,
+            strict,
+            deadline,
+            debug_delay_ms,
+        })
+    }
+}
+
+fn head(ok: bool, id: &Option<String>) -> String {
+    let mut s = format!("{{\"ok\":{ok},\"schema_version\":{SCHEMA_VERSION}");
+    if let Some(id) = id {
+        s.push_str(",\"id\":");
+        s.push_str(id);
+    }
+    s
+}
+
+fn error_response(id: &Option<String>, e: &CredError) -> String {
+    format!(
+        "{},\"error\":{{\"code\":{},\"message\":{}}}}}",
+        head(false, id),
+        json::escape(e.code()),
+        json::escape(&e.to_string())
+    )
+}
+
+fn render_explore(
+    id: &Option<String>,
+    resp: &ExploreResponse,
+    coalesced: bool,
+    shared: &Shared,
+) -> String {
+    let mut out = head(true, id);
+    out.push_str(",\"type\":\"explore\"");
+    out.push_str(&format!(",\"coalesced\":{coalesced}"));
+    out.push_str(",\"points\":[");
+    for (i, p) in resp.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&point_json(p));
+    }
+    out.push_str("],\"pareto\":[");
+    for (i, p) in resp.pareto.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&point_json(p));
+    }
+    out.push_str("],\"degraded\":[");
+    for (i, ev) in resp.degradations().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"site\":{},\"cause\":{}}}",
+            json::escape(&ev.site),
+            json::escape(&ev.cause.to_string())
+        ));
+    }
+    out.push_str("],\"failed\":[");
+    for (i, (f, msg)) in resp.failures().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"f\":{},\"message\":{}}}",
+            f,
+            json::escape(msg)
+        ));
+    }
+    // Cache counters are re-read at render time: for the shared cache the
+    // response-embedded snapshot inside `resp` may be stale by now.
+    let cache = CacheStats::of(&shared.cache);
+    out.push_str(&format!(
+        "],\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"poison_recoveries\":{}}}}}",
+        cache.hits, cache.misses, cache.evictions, cache.poison_recoveries
+    ));
+    out
+}

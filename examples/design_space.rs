@@ -12,7 +12,7 @@
 //! budget queries.
 
 use cred::codegen::DecMode;
-use cred::explore::{best_under_code_budget, best_under_register_budget, pareto, sweep};
+use cred::explore::{best_under_code_budget, best_under_register_budget, pareto, ExploreRequest};
 use cred::kernels::elliptic_filter;
 
 fn main() {
@@ -24,7 +24,12 @@ fn main() {
         cred::dfg::algo::iteration_bound(&g).unwrap()
     );
 
-    let points = sweep(&g, 5, n, DecMode::Bulk);
+    let points = ExploreRequest::new(g.clone())
+        .max_f(5)
+        .trip_count(n)
+        .run()
+        .expect("unlimited sweep")
+        .points;
     println!(
         "{:>3} {:>5} {:>11} {:>10} {:>17} {:>10}",
         "f", "M_r", "plain size", "CRED size", "iteration period", "registers"
