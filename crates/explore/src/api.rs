@@ -180,10 +180,16 @@ impl ExploreRequest {
     }
 
     /// The deduplication key of this request: two requests with equal
-    /// keys compute bit-identical responses, so a cache or an in-flight
-    /// coalescer may serve one computation to both. Deliberately excludes
-    /// the resource limits and `threads`/`strict`, which do not affect
-    /// the computed points.
+    /// keys compute bit-identical responses *as long as no budget binds*,
+    /// so a cache or an in-flight coalescer may serve one computation to
+    /// both. Deliberately excludes the resource limits and
+    /// `threads`/`strict`, which do not affect the computed points — but
+    /// that also means an outcome shaped by a binding budget (an
+    /// [`CredError::BudgetExhausted`] error, or degradations caused by
+    /// [`cred_resilience::Exhausted`]) is specific to the request that
+    /// computed it and must not be served to another key-equal request
+    /// with different limits; a sharing layer has to recompute those
+    /// (see the service's coalescer).
     pub fn coalesce_key(&self) -> (u64, usize, u64, u8) {
         (
             self.graph.fingerprint(),

@@ -88,8 +88,9 @@ impl Json {
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Int(i) => out.push_str(&i.to_string()),
             Json::Float(x) => {
-                // f64 Display round-trips; bare specials are not JSON, so
-                // render them as null like every lenient writer does.
+                // f64 Display round-trips. `parse` never yields a
+                // non-finite Float, but a hand-constructed one is not
+                // representable in JSON, so render it as null.
                 if x.is_finite() {
                     out.push_str(&x.to_string());
                 } else {
@@ -241,9 +242,14 @@ impl<'a> Parser<'a> {
                 return Ok(Json::Int(i));
             }
         }
-        text.parse::<f64>()
-            .map(Json::Float)
-            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        match text.parse::<f64>() {
+            // A literal that overflows f64 (1e999) parses to infinity;
+            // non-finite values are not JSON and would degrade to `null`
+            // on the way back out, so reject them here (RFC 8259).
+            Ok(x) if x.is_finite() => Ok(Json::Float(x)),
+            Ok(_) => Err(format!("number {text:?} overflows at byte {start}")),
+            Err(_) => Err(format!("bad number {text:?} at byte {start}")),
+        }
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -424,6 +430,9 @@ mod tests {
             "1 2",
             "{\"a\":1}x",
             "\"\\q\"",
+            "1e999",
+            "-1e999",
+            "{\"id\":1e999}",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
         }

@@ -89,6 +89,10 @@ pub struct Metrics {
     pub explore_computes: AtomicU64,
     /// Explore requests served by joining another request's flight.
     pub coalesced_joins: AtomicU64,
+    /// Joins that could not share the leader's budget-shaped outcome and
+    /// recomputed under their own limits (also counted in
+    /// `explore_computes`).
+    pub coalesce_recomputes: AtomicU64,
     /// Degraded points across all responses.
     pub degraded_points: AtomicU64,
     /// Failed points across all responses.
@@ -114,6 +118,7 @@ impl Metrics {
             errors: self.errors.load(Ordering::Relaxed),
             explore_computes: self.explore_computes.load(Ordering::Relaxed),
             coalesced_joins: self.coalesced_joins.load(Ordering::Relaxed),
+            coalesce_recomputes: self.coalesce_recomputes.load(Ordering::Relaxed),
             degraded_points: self.degraded_points.load(Ordering::Relaxed),
             failed_points: self.failed_points.load(Ordering::Relaxed),
             budget_exhaustions: self.budget_exhaustions.load(Ordering::Relaxed),
@@ -137,6 +142,8 @@ pub struct MetricsSnapshot {
     pub explore_computes: u64,
     /// See [`Metrics::coalesced_joins`].
     pub coalesced_joins: u64,
+    /// See [`Metrics::coalesce_recomputes`].
+    pub coalesce_recomputes: u64,
     /// See [`Metrics::degraded_points`].
     pub degraded_points: u64,
     /// See [`Metrics::failed_points`].
@@ -156,7 +163,8 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"requests\":{},\"ok\":{},\"errors\":{},\"explore_computes\":{},\
-             \"coalesced_joins\":{},\"degraded_points\":{},\"failed_points\":{},\
+             \"coalesced_joins\":{},\"coalesce_recomputes\":{},\"degraded_points\":{},\
+             \"failed_points\":{},\
              \"budget_exhaustions\":{},\"explore_latency\":{{\"p50_us\":{},\"p99_us\":{}}},\
              \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"poison_recoveries\":{}}}}}",
             self.requests,
@@ -164,6 +172,7 @@ impl MetricsSnapshot {
             self.errors,
             self.explore_computes,
             self.coalesced_joins,
+            self.coalesce_recomputes,
             self.degraded_points,
             self.failed_points,
             self.budget_exhaustions,

@@ -19,7 +19,11 @@
 //! explore requests — same kernel fingerprint, `max_f`, `n`, and mode —
 //! coalesce onto one computation ([`crate::coalesce`]); everything the
 //! leader computes lands in the process-wide [`SweepCache`] shared by
-//! every request thereafter.
+//! every request thereafter. A leader outcome that was shaped by the
+//! leader's own budget (a budget-exhausted error, or exhaustion-caused
+//! degradations) is never handed to a joiner, whose limits may differ:
+//! the joiner recomputes under its own limits against the shared cache
+//! instead (counted as `coalesce_recomputes`).
 //!
 //! # Admission control
 //!
@@ -42,7 +46,7 @@ use cred_dfg::Dfg;
 use cred_explore::cache::SweepCache;
 use cred_explore::suite::{load_kernels, SCHEMA_VERSION};
 use cred_explore::{point_json, CacheStats, CredError, ExploreRequest, ExploreResponse};
-use cred_resilience::{CancelToken, Exhausted};
+use cred_resilience::{CancelToken, DegradeCause, Exhausted};
 
 use crate::coalesce::{Coalescer, Role};
 use crate::json::{self, Json};
@@ -258,10 +262,13 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             Ok(0) => return,
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
+                // One arrival stamp per read, shared by every line drained
+                // from it: a pipelined line must not have its deadline
+                // clock start only after its predecessors were handled.
+                let arrival = Instant::now();
                 // Drain every complete line currently buffered.
                 while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
                     let line: Vec<u8> = buf.drain(..=nl).collect();
-                    let arrival = Instant::now();
                     let text = String::from_utf8_lossy(&line[..nl]);
                     let trimmed = text.trim();
                     if trimmed.is_empty() {
@@ -374,6 +381,10 @@ fn handle_explore(
         Some(d) => request.deadline(d),
         None => request,
     };
+    let request = match params.work_limit {
+        Some(w) => request.work_limit(w),
+        None => request,
+    };
     let key = request.coalesce_key();
     let delay = params.debug_delay_ms.map(Duration::from_millis);
     let (result, role) = shared.coalescer.run(key, || {
@@ -384,10 +395,24 @@ fn handle_explore(
         }
         Arc::new(request.run_with(&shared.cache))
     });
-    match role {
-        Role::Led => Metrics::bump(&shared.metrics.explore_computes),
-        Role::Joined => Metrics::bump(&shared.metrics.coalesced_joins),
-    }
+    // A joiner must not inherit an outcome shaped by the *leader's*
+    // resource limits: the key excludes deadline/work_limit, so a leader
+    // whose budget truncated the sweep (or exhausted outright) would hand
+    // a spuriously degraded result — or a spurious budget error — to a
+    // joiner with a roomier budget. Such outcomes are recomputed under
+    // this request's own limits; the leader's surviving work is in the
+    // shared cache, so the recompute pays only for what was cut.
+    let (result, coalesced) = if role == Role::Joined && budget_tainted(&result) {
+        Metrics::bump(&shared.metrics.explore_computes);
+        Metrics::bump(&shared.metrics.coalesce_recomputes);
+        (Arc::new(request.run_with(&shared.cache)), false)
+    } else {
+        match role {
+            Role::Led => Metrics::bump(&shared.metrics.explore_computes),
+            Role::Joined => Metrics::bump(&shared.metrics.coalesced_joins),
+        }
+        (result, role == Role::Joined)
+    };
 
     // The deadline is anchored at arrival: a computation that finished
     // too late — queued, coalesced onto a slow flight, or just slow — is
@@ -398,22 +423,38 @@ fn handle_explore(
         Ok(resp) => resp,
         Err(e) => return Err(e.clone()),
     };
-    if params.strict {
-        let degraded = resp.degradations().len();
-        if degraded > 0 {
-            return Err(CredError::DegradedUnderStrict { degraded });
-        }
-    }
+    // Accumulate per-point fallout before the strict check, so strict
+    // requests that observe degradation still show up in the counters
+    // meant to track it.
+    let degraded = resp.degradations().len();
     shared
         .metrics
         .degraded_points
-        .fetch_add(resp.degradations().len() as u64, Ordering::Relaxed);
+        .fetch_add(degraded as u64, Ordering::Relaxed);
     shared
         .metrics
         .failed_points
         .fetch_add(resp.failures().len() as u64, Ordering::Relaxed);
+    if params.strict && degraded > 0 {
+        return Err(CredError::DegradedUnderStrict { degraded });
+    }
     shared.metrics.explore_latency.record(arrival.elapsed());
-    Ok(render_explore(id, resp, role == Role::Joined, shared))
+    Ok(render_explore(id, resp, coalesced, shared))
+}
+
+/// Whether a shared explore outcome depends on the resource limits of the
+/// request that computed it — a budget-exhausted error, or a success
+/// containing exhaustion-caused degradations. Equal coalesce keys only
+/// guarantee bit-identical responses under budgets that never bind, so
+/// these outcomes must not be served to a coalesce joiner.
+fn budget_tainted(outcome: &Result<ExploreResponse, CredError>) -> bool {
+    match outcome {
+        Err(e) => matches!(e, CredError::BudgetExhausted(_)),
+        Ok(resp) => resp
+            .degradations()
+            .iter()
+            .any(|ev| matches!(ev.cause, DegradeCause::Exhausted(_))),
+    }
 }
 
 fn check_deadline(arrival: Instant, deadline: Option<Duration>) -> Result<(), CredError> {
@@ -433,6 +474,7 @@ struct ExploreParams {
     mode: DecMode,
     strict: bool,
     deadline: Option<Duration>,
+    work_limit: Option<u64>,
     debug_delay_ms: Option<u64>,
 }
 
@@ -510,6 +552,17 @@ impl ExploreParams {
                 }
             },
         };
+        let work_limit = match req.get("work_limit") {
+            None => None,
+            Some(v) => match v.as_u64() {
+                Some(w) => Some(w),
+                None => {
+                    return Err(CredError::Protocol(
+                        "work_limit must be a non-negative integer".into(),
+                    ))
+                }
+            },
+        };
         let debug_delay_ms = match req.get("debug_delay_ms") {
             None => None,
             Some(v) => match v.as_u64() {
@@ -528,6 +581,7 @@ impl ExploreParams {
             mode,
             strict,
             deadline,
+            work_limit,
             debug_delay_ms,
         })
     }

@@ -186,6 +186,48 @@ fn concurrent_identical_requests_coalesce_onto_one_compute() {
     server.shutdown();
 }
 
+/// A joiner must not inherit an outcome shaped by the leader's budget:
+/// a starved leader degrades, but the unlimited joiner that coalesced
+/// onto its flight recomputes and gets the clean cold-run answer.
+#[test]
+fn budget_shaped_outcomes_are_not_shared_with_joiners() {
+    let server = TestServer::spawn(|_| {});
+    let want = expected_points("elliptic", 2, 60);
+    // Leader: a zero work budget pushes every factor down the
+    // degradation ladder (exhaustion-caused events); the debug hook
+    // holds the flight open so the second client overlaps it.
+    let leader_req = "{\"type\":\"explore\",\"id\":\"starved\",\"kernel\":\"elliptic\",\
+                      \"max_f\":2,\"n\":60,\"work_limit\":0,\"debug_delay_ms\":600}";
+    // Joiner: identical coalesce key (limits are excluded from it), but
+    // an unlimited budget.
+    let joiner_req = "{\"type\":\"explore\",\"id\":\"roomy\",\"kernel\":\"elliptic\",\
+                      \"max_f\":2,\"n\":60}";
+    let addr_a = server.addr.clone();
+    let addr_b = server.addr.clone();
+    let a = std::thread::spawn(move || Client::connect(&addr_a).request(leader_req));
+    std::thread::sleep(Duration::from_millis(150));
+    let b = std::thread::spawn(move || Client::connect(&addr_b).request(joiner_req));
+    let leader = a.join().unwrap();
+    let joiner = b.join().unwrap();
+    // The leader's own response reflects its starved budget...
+    assert!(leader.contains("\"ok\":true"), "{leader}");
+    assert!(!leader.contains("\"degraded\":[]"), "{leader}");
+    // ...but the joiner sees none of it: a clean response, bit-identical
+    // to a cold unlimited run, and not marked coalesced.
+    assert!(joiner.contains("\"ok\":true"), "{joiner}");
+    assert!(joiner.contains("\"degraded\":[]"), "{joiner}");
+    assert!(
+        joiner.contains(&want),
+        "joiner must match the cold run:\n{joiner}"
+    );
+    assert!(joiner.contains("\"coalesced\":false"), "{joiner}");
+    let stats = server.request("{\"type\":\"stats\"}");
+    assert!(stats.contains("\"coalesce_recomputes\":1"), "{stats}");
+    assert!(stats.contains("\"explore_computes\":2"), "{stats}");
+    assert!(stats.contains("\"coalesced_joins\":0"), "{stats}");
+    server.shutdown();
+}
+
 /// A request that exceeds its deadline is answered with a typed budget
 /// error on a live connection — not a hangup.
 #[test]
@@ -228,6 +270,25 @@ fn strict_requests_succeed_when_nothing_degrades() {
         "{\"type\":\"explore\",\"kernel\":\"figure3\",\"max_f\":2,\"n\":31,\"strict\":true}",
     );
     assert!(resp.contains("\"ok\":true"), "{resp}");
+    server.shutdown();
+}
+
+/// A strict request that observes degradation gets the typed error *and*
+/// still lands in the degradation counters.
+#[test]
+fn strict_degradation_is_typed_and_still_counted() {
+    let server = TestServer::spawn(|_| {});
+    let resp = server.request(
+        "{\"type\":\"explore\",\"kernel\":\"figure3\",\"max_f\":2,\"n\":31,\
+         \"work_limit\":0,\"strict\":true}",
+    );
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    assert!(resp.contains("\"code\":\"degraded-under-strict\""), "{resp}");
+    let stats = server.request("{\"type\":\"stats\"}");
+    assert!(
+        stats.contains("\"degraded_points\":2"),
+        "both starved factors must be counted: {stats}"
+    );
     server.shutdown();
 }
 
