@@ -33,6 +33,9 @@
 //!   --shrink        minimize each failure before reporting it
 //!   --corpus DIR    replay DIR/*.case first; with --shrink, save new
 //!                   shrunk failures there
+//!   --executor E    tape (compile to a flat instruction tape; default)
+//!                   or tree (the tree-walking reference interpreter) —
+//!                   same oracle, so `tree` cross-checks the compiler
 //! Options for `chaos` (replay the oracle under seeded fault plans; exit
 //! code 1 on any silent corruption — degradations and isolated panics
 //! are the expected outcome under injection):
@@ -390,6 +393,11 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     let cases = args.get_u64("cases", 200)? as usize;
     let seed = args.get_u64("seed", 0)?;
     let corpus_dir = args.get("corpus").map(std::path::PathBuf::from);
+    let executor = match args.get("executor").unwrap_or("tape") {
+        "tape" => cred_verify::Executor::Tape,
+        "tree" => cred_verify::Executor::Tree,
+        other => return Err(format!("--executor: 'tape' or 'tree', not '{other}'")),
+    };
 
     let mut failures = 0usize;
     if let Some(dir) = &corpus_dir {
@@ -398,7 +406,7 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
         }
         let corpus = cred_verify::corpus::load_dir(dir)?;
         for case in &corpus {
-            if let Err(e) = cred_verify::verify_case(case) {
+            if let Err(e) = cred_verify::verify_case_on(case, executor) {
                 eprintln!("corpus {case}\n  {e}");
                 failures += 1;
             }
@@ -415,11 +423,16 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
         seed,
         case: cred_verify::CaseConfig::default(),
         shrink_failures: args.has("shrink"),
+        executor,
     });
     println!(
-        "fuzz: {} case(s) (seed {seed}; {} retime-unfold, {} unfold-retime), \
+        "fuzz: {} case(s) on the {} executor (seed {seed}; {} retime-unfold, {} unfold-retime), \
          {} program(s) executed and diffed, {} failure(s)",
         report.cases_run,
+        match executor {
+            cred_verify::Executor::Tape => "tape",
+            cred_verify::Executor::Tree => "tree",
+        },
         report.by_order[0],
         report.by_order[1],
         report.programs_checked,

@@ -189,6 +189,34 @@ fn serve_rejects_bad_flags_with_typed_errors() {
 }
 
 #[test]
+fn verify_subcommand_runs_on_both_executors() {
+    // Same seed, same oracle — only the VM backend differs, so both runs
+    // must come out clean and report the same case/program tallies.
+    let tape = run(&["verify", "--cases", "10", "--seed", "3"]);
+    assert!(tape.status.success(), "{tape:?}");
+    let tape_out = String::from_utf8_lossy(&tape.stdout);
+    assert!(tape_out.contains("on the tape executor"), "{tape_out}");
+    let tree = run(&[
+        "verify",
+        "--cases",
+        "10",
+        "--seed",
+        "3",
+        "--executor",
+        "tree",
+    ]);
+    assert!(tree.status.success(), "{tree:?}");
+    let tree_out = String::from_utf8_lossy(&tree.stdout);
+    assert!(tree_out.contains("on the tree executor"), "{tree_out}");
+    assert_eq!(
+        tape_out.replace("tape", "tree"),
+        tree_out.as_ref(),
+        "backends must report identical tallies"
+    );
+    assert_clean_failure(&run(&["verify", "--executor", "sideways"]), "sideways");
+}
+
+#[test]
 fn chaos_subcommand_is_sound_and_quiet() {
     let out = run(&["chaos", "--cases", "15", "--seed", "0"]);
     assert!(out.status.success(), "{out:?}");

@@ -70,6 +70,12 @@ pub enum OpKind {
 
 impl OpKind {
     /// Evaluate the operation on `inputs` at (1-based) iteration `i`.
+    ///
+    /// `inline(always)`: the VM's streamed executor calls this from
+    /// per-variant monomorphized loops where the match must fold to the
+    /// variant's one or two ALU ops; the plain hint loses to the
+    /// inliner's budget inside those large loop nests.
+    #[inline(always)]
     pub fn eval(self, inputs: &[i64], i: i64) -> i64 {
         match self {
             OpKind::Add(c) => inputs.iter().fold(c, |acc, &x| acc.wrapping_add(x)),
@@ -92,7 +98,11 @@ impl OpKind {
                         .fold(prod, |acc, &x| acc.wrapping_add(x))
                         .wrapping_add(c)
                 } else {
-                    OpKind::Add(c).eval(inputs, i)
+                    // Add fallback, spelled out: a self-call here would
+                    // make `eval` recursive, and LLVM silently drops
+                    // `alwaysinline` from recursive functions — which
+                    // un-inlines every monomorphized VM stream loop.
+                    inputs.iter().fold(c, |acc, &x| acc.wrapping_add(x))
                 }
             }
             OpKind::Scale(k, c) => inputs

@@ -86,6 +86,8 @@ pub mod sites {
     pub const CODEGEN_UNFOLD: &str = "codegen.unfold";
     /// Once per loop iteration of the VM interpreter (`cred-vm`).
     pub const VM_EXEC: &str = "vm.exec";
+    /// Entry of the tape compiler lowering a program (`cred-vm`).
+    pub const VM_COMPILE: &str = "vm.compile";
 
     /// Every site above, for plan sampling and documentation.
     pub const ALL: &[&str] = &[
@@ -97,6 +99,7 @@ pub mod sites {
         CODEGEN_CRED,
         CODEGEN_UNFOLD,
         VM_EXEC,
+        VM_COMPILE,
     ];
 }
 
@@ -233,6 +236,14 @@ mod registry {
         std::mem::take(&mut state().fired)
     }
 
+    pub(super) fn is_armed(site: &'static str) -> bool {
+        ACTIVE.load(Ordering::Relaxed)
+            && state()
+                .plan
+                .as_ref()
+                .is_some_and(|p| p.action_for(site).is_some())
+    }
+
     pub(super) fn consult(site: &'static str) -> Result<(), InjectedFault> {
         if !ACTIVE.load(Ordering::Relaxed) {
             return Ok(());
@@ -273,6 +284,24 @@ pub fn hit(site: &'static str) -> Result<(), InjectedFault> {
     {
         let _ = site;
         Ok(())
+    }
+}
+
+/// Whether the installed plan (if any) arms `site`. Reaching a site the
+/// plan does not arm has no observable effect at all — no log entry, no
+/// action — so a hot loop that checks `armed` once up front may legally
+/// skip its [`hit`] calls when this returns `false`. Always `false`
+/// without the `failpoints` feature.
+#[inline]
+pub fn armed(site: &'static str) -> bool {
+    #[cfg(feature = "failpoints")]
+    {
+        registry::is_armed(site)
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = site;
+        false
     }
 }
 

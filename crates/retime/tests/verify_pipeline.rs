@@ -6,7 +6,7 @@
 
 use cred_retime::min_period_retiming;
 use cred_unfold::unfold;
-use cred_verify::{fuzz_suite, random_case, CaseConfig, FuzzConfig};
+use cred_verify::{fuzz_suite, random_case, CaseConfig, Executor, FuzzConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -17,6 +17,7 @@ fn solver_products_execute_correctly_across_the_pipeline() {
         seed: 17,
         case: CaseConfig::default(),
         shrink_failures: false,
+        executor: Executor::Tape,
     });
     if let Some(f) = report.failures.first() {
         panic!("{}: {}", f.case, f.error);

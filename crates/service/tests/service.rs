@@ -283,7 +283,10 @@ fn strict_degradation_is_typed_and_still_counted() {
          \"work_limit\":0,\"strict\":true}",
     );
     assert!(resp.contains("\"ok\":false"), "{resp}");
-    assert!(resp.contains("\"code\":\"degraded-under-strict\""), "{resp}");
+    assert!(
+        resp.contains("\"code\":\"degraded-under-strict\""),
+        "{resp}"
+    );
     let stats = server.request("{\"type\":\"stats\"}");
     assert!(
         stats.contains("\"degraded_points\":2"),

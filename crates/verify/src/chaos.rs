@@ -232,7 +232,7 @@ mod tests {
             "silent corruptions: {:#?}",
             report.corruptions()
         );
-        // With a 40% arming probability across 8 sites, faults must
+        // With a 40% arming probability across 9 sites, faults must
         // actually land — an all-clean report would mean the injection
         // machinery is dead, not that the pipeline is invincible.
         assert!(
@@ -284,5 +284,29 @@ mod tests {
         let _guard = install(ChaosPlan::new().trip(sites::VM_EXEC, FaultAction::Error));
         let err = verify_case(&case).unwrap_err();
         assert!(err.detail.contains(sites::VM_EXEC), "{err}");
+    }
+
+    #[test]
+    fn tape_compiler_injection_surfaces_as_typed_degradation() {
+        use crate::case::TransformOrder;
+        use cred_codegen::DecMode;
+        use cred_dfg::gen;
+        let case = crate::Case {
+            label: "compile-inject".into(),
+            graph: gen::chain_with_feedback(5, 2),
+            n: 17,
+            f: 2,
+            order: TransformOrder::RetimeUnfold,
+            mode: DecMode::Bulk,
+        };
+        // The oracle's default executor lowers through the tape compiler,
+        // so a fault armed at its entry must surface as a typed
+        // degradation naming the site — proof that `credc chaos` covers
+        // the compiler, not just the interpreters.
+        let _guard = install(ChaosPlan::new().trip(sites::VM_COMPILE, FaultAction::Error));
+        let err = verify_case(&case).unwrap_err();
+        assert!(err.detail.contains(sites::VM_COMPILE), "{err}");
+        // The tree-walker path does not compile and must sail through.
+        crate::verify_case_on(&case, crate::Executor::Tree).unwrap();
     }
 }

@@ -22,7 +22,8 @@ pub mod shrink;
 pub use case::{random_case, Case, CaseConfig, TransformOrder};
 pub use chaos::{chaos_suite, ChaosConfig, ChaosOutcome, ChaosReport};
 pub use oracle::{
-    verify_case, verify_case_mutated, CaseReport, FailureKind, ProgramReport, VerifyFailure,
+    case_programs, verify_case, verify_case_mutated, verify_case_on, CaseReport, Executor,
+    FailureKind, ProgramReport, VerifyFailure,
 };
 pub use shrink::shrink;
 
@@ -40,6 +41,9 @@ pub struct FuzzConfig {
     pub case: CaseConfig,
     /// Minimize each failure with [`shrink`] before reporting it.
     pub shrink_failures: bool,
+    /// VM backend the oracle's execution layer runs (tape by default;
+    /// tree for cross-checking the tape compiler).
+    pub executor: Executor,
 }
 
 impl Default for FuzzConfig {
@@ -49,6 +53,7 @@ impl Default for FuzzConfig {
             seed: 0,
             case: CaseConfig::default(),
             shrink_failures: false,
+            executor: Executor::default(),
         }
     }
 }
@@ -99,12 +104,12 @@ pub fn fuzz_suite(cfg: &FuzzConfig) -> FuzzReport {
             TransformOrder::RetimeUnfold => 0,
             TransformOrder::UnfoldRetime => 1,
         }] += 1;
-        match verify_case(&case) {
+        match verify_case_on(&case, cfg.executor) {
             Ok(rep) => report.programs_checked += rep.programs.len(),
             Err(error) => {
                 let shrunk = cfg.shrink_failures.then(|| {
-                    let small = shrink(&case, &|c| verify_case(c).is_err());
-                    let err = verify_case(&small)
+                    let small = shrink(&case, &|c| verify_case_on(c, cfg.executor).is_err());
+                    let err = verify_case_on(&small, cfg.executor)
                         .expect_err("shrink must preserve the failure predicate");
                     (small, err)
                 });

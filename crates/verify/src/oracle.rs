@@ -27,8 +27,27 @@ use cred_core::theorems;
 use cred_explore::cache::compute_plan;
 use cred_retime::min_period_retiming;
 use cred_unfold::unfold;
-use cred_vm::{diff_against_reference, trace_loop};
+use cred_vm::{execute, execute_tape, trace_loop, value_diff, DiffReport};
 use std::fmt;
+
+/// Which `cred-vm` executor the oracle's execution layer runs.
+///
+/// [`Executor::Tape`] (the default) compiles each program once into a
+/// flat instruction tape and runs that — the fast path that lets CI
+/// afford 50x the differential-testing budget. [`Executor::Tree`] is the
+/// original tree-walking interpreter, kept as the reference semantics;
+/// the two are held equivalent by `cred_vm::cross_check_executors` and
+/// the differential proptests, so running the oracle under `Tree`
+/// (`credc verify --executor tree`) is a cross-check of the tape
+/// compiler itself, not a different oracle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Executor {
+    /// Compile to a flat tape, then execute (fast path, default).
+    #[default]
+    Tape,
+    /// Tree-walk the program directly (reference semantics).
+    Tree,
+}
 
 /// Which oracle layer rejected the case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +176,8 @@ fn verify_program(
     case: &Case,
     p: &LoopProgram,
     expect: &ExpectedCounts,
+    reference: &[Vec<i64>],
+    executor: Executor,
     mutated: bool,
 ) -> Result<ProgramReport, VerifyFailure> {
     let fail = |kind, detail: String| VerifyFailure {
@@ -172,9 +193,20 @@ fn verify_program(
             .check_static(p)
             .map_err(|e| fail(FailureKind::Static, e))?;
     }
-    // Layer 2: strict execution + full value diff.
-    let res = diff_against_reference(&case.graph, p)
-        .map_err(|d| fail(FailureKind::Values, d.to_string()))?;
+    // Layer 2: strict execution + full value diff against the case's
+    // (precomputed) reference recurrence, on the selected executor.
+    let res = match executor {
+        Executor::Tape => execute_tape(p),
+        Executor::Tree => execute(p),
+    }
+    .map_err(|e| fail(FailureKind::Values, DiffReport::Exec(e).to_string()))?;
+    let cells = value_diff(&case.graph, p.n as usize, &res.arrays, reference);
+    if !cells.is_empty() {
+        return Err(fail(
+            FailureKind::Values,
+            DiffReport::Values { cells }.to_string(),
+        ));
+    }
     // Layer 3: dynamic counts.
     expect
         .check_dynamic(res.computes_executed, res.computes_nullified)
@@ -242,9 +274,14 @@ fn check_theorems(case: &Case) -> Result<(), VerifyFailure> {
     Ok(())
 }
 
-/// Run the full oracle on one case.
+/// Run the full oracle on one case (on the default [`Executor::Tape`]).
 pub fn verify_case(case: &Case) -> Result<CaseReport, VerifyFailure> {
-    verify_case_with(case, None)
+    verify_case_with(case, None, Executor::default())
+}
+
+/// Run the full oracle on one case with an explicit execution backend.
+pub fn verify_case_on(case: &Case, executor: Executor) -> Result<CaseReport, VerifyFailure> {
+    verify_case_with(case, None, executor)
 }
 
 /// Run the oracle with a program mutator injected between code generation
@@ -255,12 +292,21 @@ pub fn verify_case_mutated(
     case: &Case,
     mutate: &dyn Fn(&mut LoopProgram),
 ) -> Result<CaseReport, VerifyFailure> {
-    verify_case_with(case, Some(mutate))
+    verify_case_with(case, Some(mutate), Executor::default())
+}
+
+/// The bare programs the case's transformation order generates — the
+/// differential-testing surface. Exposed so cross-executor tests (the
+/// `execute_tape == execute` proptests, dual-executor corpus replay) can
+/// run both VM backends over exactly the programs the oracle would.
+pub fn case_programs(case: &Case) -> Vec<LoopProgram> {
+    programs_for(case).0.into_iter().map(|(p, _)| p).collect()
 }
 
 fn verify_case_with(
     case: &Case,
     mutate: Option<&dyn Fn(&mut LoopProgram)>,
+    executor: Executor,
 ) -> Result<CaseReport, VerifyFailure> {
     let (mut programs, period) = programs_for(case);
     if let Some(m) = mutate {
@@ -268,9 +314,19 @@ fn verify_case_with(
             m(p);
         }
     }
+    // Every generated program is diffed against the same recurrence, so
+    // evaluate it once per case rather than once per program.
+    let reference = case.graph.reference_execution(case.n as usize);
     let mut reports = Vec::with_capacity(programs.len());
     for (p, expect) in &programs {
-        reports.push(verify_program(case, p, expect, mutate.is_some())?);
+        reports.push(verify_program(
+            case,
+            p,
+            expect,
+            &reference,
+            executor,
+            mutate.is_some(),
+        )?);
     }
     if mutate.is_none() {
         check_theorems(case)?;
@@ -355,5 +411,17 @@ mod tests {
     fn identity_mutation_passes() {
         let case = chain_case(TransformOrder::UnfoldRetime);
         verify_case_mutated(&case, &|_| {}).unwrap();
+    }
+
+    #[test]
+    fn executor_backends_agree_on_reports() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let cfg = CaseConfig::default();
+        for i in 0..10 {
+            let c = random_case(&mut rng, format!("x{i}"), &cfg);
+            let tape = verify_case_on(&c, Executor::Tape).unwrap_or_else(|e| panic!("{c}: {e}"));
+            let tree = verify_case_on(&c, Executor::Tree).unwrap_or_else(|e| panic!("{c}: {e}"));
+            assert_eq!(tape, tree, "{c}");
+        }
     }
 }

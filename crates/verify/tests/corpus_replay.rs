@@ -1,8 +1,9 @@
 //! Regression replay: every `.case` file committed under the repository's
-//! `tests/corpus/` must still pass the full oracle, and the textual format
-//! must roundtrip it byte-identically.
+//! `tests/corpus/` must still pass the full oracle — on both VM
+//! executors, with identical evidence — and the textual format must
+//! roundtrip it byte-identically.
 
-use cred_verify::{corpus, verify_case};
+use cred_verify::{case_programs, corpus, verify_case, verify_case_on, Executor};
 use std::path::Path;
 
 fn corpus_dir() -> std::path::PathBuf {
@@ -18,6 +19,39 @@ fn committed_corpus_replays_clean() {
     );
     for case in &cases {
         verify_case(case).unwrap_or_else(|e| panic!("{case}: {e}"));
+    }
+}
+
+/// Every committed shrunk failure replays through *both* executors: the
+/// tree-walker and the tape produce identical oracle reports, and the
+/// raw `DiffReport` evidence for every generated program is identical
+/// too. A corpus case that ever diverged between the two would mean the
+/// tape compiler disagrees with the reference semantics exactly where a
+/// historical bug lived — the worst possible place.
+#[test]
+fn committed_corpus_replays_identically_on_both_executors() {
+    for case in corpus::load_dir(&corpus_dir()).unwrap() {
+        let tape = verify_case_on(&case, Executor::Tape).unwrap_or_else(|e| panic!("{case}: {e}"));
+        let tree = verify_case_on(&case, Executor::Tree).unwrap_or_else(|e| panic!("{case}: {e}"));
+        assert_eq!(tape, tree, "{case}: oracle reports diverge");
+        for p in case_programs(&case) {
+            let a = cred_vm::diff_against_reference(&case.graph, &p);
+            let b = cred_vm::diff_against_reference_tape(&case.graph, &p);
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.arrays, y.arrays, "{case}: {}", p.name);
+                    assert_eq!(x.computes_executed, y.computes_executed);
+                    assert_eq!(x.computes_nullified, y.computes_nullified);
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y, "{case}: {}", p.name),
+                (x, y) => panic!(
+                    "{case}: {}: executors disagree (tree ok={}, tape ok={})",
+                    p.name,
+                    x.is_ok(),
+                    y.is_ok()
+                ),
+            }
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 //! fixed seed. CI's `verify-smoke` job runs the same configuration through
 //! the CLI (`cred verify --cases 200 --seed 0`).
 
-use cred_verify::{fuzz_suite, CaseConfig, FuzzConfig};
+use cred_verify::{fuzz_suite, CaseConfig, Executor, FuzzConfig};
 
 #[test]
 fn two_hundred_cases_seed_zero_are_clean() {
@@ -11,6 +11,7 @@ fn two_hundred_cases_seed_zero_are_clean() {
         seed: 0,
         case: CaseConfig::default(),
         shrink_failures: true,
+        executor: Executor::Tape,
     });
     if let Some(f) = report.failures.first() {
         let detail = match &f.shrunk {
@@ -38,6 +39,7 @@ fn stress_axes_beyond_defaults_are_clean() {
             max_unfold: 6,
         },
         shrink_failures: false,
+        executor: Executor::Tape,
     });
     if let Some(f) = report.failures.first() {
         panic!("{}: {}", f.case, f.error);

@@ -18,13 +18,25 @@
 //! * [`check_against_reference`] then compares every element against the
 //!   direct DFG recurrence ([`cred_dfg::Dfg::reference_execution`]).
 //!
+//! Two executors share these semantics. [`execute`] tree-walks the
+//! program directly and is the *reference* implementation; [`compile`]
+//! lowers the program once into a flat [`Tape`] (operands preresolved,
+//! CRED guards precomputed into predicate bitsets) that
+//! [`execute_tape`] runs an order of magnitude faster. The two are held
+//! equivalent by [`cross_check_executors`] and the differential
+//! proptests; the verification oracle runs the tape path by default.
+//!
 //! [`LoopProgram`]: cred_codegen::LoopProgram
 
+mod compile;
 mod machine;
 mod trace;
 
+pub use compile::{
+    compile, cross_check_executors, diff_against_reference_tape, execute_tape, Tape,
+};
 pub use machine::{
-    check_against_reference, diff_against_reference, execute, DiffReport, ExecError, ExecResult,
-    MismatchCell, Site,
+    check_against_reference, diff_against_reference, execute, value_diff, DiffReport, ExecError,
+    ExecResult, MismatchCell, Site,
 };
 pub use trace::{trace_loop, TraceEvent};

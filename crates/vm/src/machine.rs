@@ -404,6 +404,39 @@ pub fn execute(p: &LoopProgram) -> Result<ExecResult, ExecError> {
     })
 }
 
+/// Compare executed array contents against a reference table cell by
+/// cell, collecting every differing element in array-major order. Shared
+/// by the tree-walker's [`diff_against_reference`] and the tape
+/// executor's [`diff_against_reference_tape`](crate::diff_against_reference_tape),
+/// so both paths render identical [`DiffReport::Values`] payloads; public
+/// so callers that already hold a reference table (the verification
+/// oracle computes one per case, not one per program) can diff without
+/// re-deriving it.
+pub fn value_diff(
+    g: &Dfg,
+    n: usize,
+    got: &[Vec<i64>],
+    reference: &[Vec<i64>],
+) -> Vec<MismatchCell> {
+    let mut cells = Vec::new();
+    for v in g.node_ids() {
+        #[allow(clippy::needless_range_loop)] // two parallel tables, index is clearer
+        for i in 0..n {
+            let got = got[v.index()][i];
+            let expected = reference[v.index()][i];
+            if got != expected {
+                cells.push(MismatchCell {
+                    array: g.node(v).name.clone(),
+                    index: i as i64 + 1,
+                    got,
+                    expected,
+                });
+            }
+        }
+    }
+    cells
+}
+
 /// Execute `p` and compare every element with the direct recurrence
 /// evaluation of `g`, reporting *all* differing cells — the structured
 /// variant of [`check_against_reference`] used by the differential
@@ -416,22 +449,7 @@ pub fn diff_against_reference(g: &Dfg, p: &LoopProgram) -> Result<ExecResult, Di
     );
     let res = execute(p).map_err(DiffReport::Exec)?;
     let reference = g.reference_execution(p.n as usize);
-    let mut cells = Vec::new();
-    for v in g.node_ids() {
-        #[allow(clippy::needless_range_loop)] // two parallel tables, index is clearer
-        for i in 0..p.n as usize {
-            let got = res.arrays[v.index()][i];
-            let expected = reference[v.index()][i];
-            if got != expected {
-                cells.push(MismatchCell {
-                    array: g.node(v).name.clone(),
-                    index: i as i64 + 1,
-                    got,
-                    expected,
-                });
-            }
-        }
-    }
+    let cells = value_diff(g, p.n as usize, &res.arrays, &reference);
     if !cells.is_empty() {
         return Err(DiffReport::Values { cells });
     }
