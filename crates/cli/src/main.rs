@@ -48,6 +48,9 @@
 //!   --cache-cap C    shared plan-cache capacity (default 1024)
 //!   --deadline-ms D  default per-request deadline (default: unlimited)
 //!   --kernels DIR    serve DIR/*.loop by name (default: kernels/ if present)
+//!   --max-inflight M explore requests admitted concurrently; beyond M the
+//!                    server sheds with a typed `overloaded` error
+//!                    (default 512)
 //!   --metrics-dump F write a final metrics snapshot to F on shutdown
 //!
 //! Exit codes: 0 success, 1 error/failure, 2 degraded (under `--strict`).
@@ -497,11 +500,15 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let workers = args.get_u64("workers", 4)? as usize;
     let cache_cap = args.get_u64("cache-cap", 1024)? as usize;
+    let max_in_flight = args.get_u64("max-inflight", 512)? as usize;
     if workers < 1 {
         return Err("--workers must be at least 1".into());
     }
     if cache_cap < 1 {
         return Err("--cache-cap must be at least 1".into());
+    }
+    if max_in_flight < 1 {
+        return Err("--max-inflight must be at least 1".into());
     }
     let mut default_deadline = None;
     if let Some(ms) = args.get("deadline-ms") {
@@ -535,6 +542,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         default_deadline,
         kernels_dir,
         metrics_dump: args.get("metrics-dump").map(std::path::PathBuf::from),
+        max_in_flight,
+        ..ServiceConfig::default()
     })
     .map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;

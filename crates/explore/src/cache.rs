@@ -29,6 +29,13 @@
 //!   caller, and verifies a stored plan's checksum on every hit, evicting
 //!   and recomputing on mismatch (self-healing).
 //!
+//! The table is **sharded by DFG fingerprint**: entries land in one of a
+//! power-of-two number of independent shards, each with its own lock, LRU
+//! clock, and counters, so a thousand concurrent clients hammering
+//! different kernels never serialize on one mutex. All the robustness
+//! properties hold per shard (a poisoned shard clears only itself), and
+//! every public counter is the rollup across shards.
+//!
 //! The cached plan holds only the *decisions* (projected retiming and
 //! achieved period); code generation is deterministic given those, so
 //! points produced from a cached plan are identical to freshly computed
@@ -210,59 +217,22 @@ struct CacheInner {
     tick: u64,
 }
 
-/// Thread-safe, bounded, self-healing memo table for [`FactorPlan`]s,
-/// keyed by `(Dfg::fingerprint(), f)`.
-///
-/// Shared by reference between the workers of a [`crate::par_sweep`] and,
-/// optionally, across whole sweeps (the suite runner keeps one cache for
-/// all kernels; fingerprints keep their entries apart). Two threads racing
-/// on the same key may both compute the plan; the first insert wins and
-/// both callers observe the same `Arc`, so results stay deterministic.
-///
-/// Robustness properties:
-///
-/// * **bounded** — at most `capacity` entries (unbounded by default);
-///   inserting past the bound evicts the least-recently-used entry and
-///   bumps [`evictions`](Self::evictions);
-/// * **poison-tolerant** — a worker that panics while holding the lock
-///   poisons it once; the next caller recovers the lock and clears the
-///   table (a panicking writer may have left it mid-update), counted by
-///   [`poison_recoveries`](Self::poison_recoveries), instead of
-///   propagating panics to every later query forever;
-/// * **self-healing** — every hit re-verifies the entry's checksum; a
-///   corrupted entry is evicted and recomputed instead of served.
+/// One independent slice of the table: its own lock, LRU clock, and
+/// counters. Poisoning clears this shard only.
 #[derive(Debug, Default)]
-pub struct SweepCache {
+struct Shard {
     inner: Mutex<CacheInner>,
-    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     poison_recoveries: AtomicU64,
 }
 
-impl SweepCache {
-    /// Fresh, empty, unbounded cache.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Fresh cache holding at most `capacity` plans (LRU eviction).
-    ///
-    /// # Panics
-    /// Panics if `capacity` is zero.
-    pub fn with_capacity(capacity: usize) -> Self {
-        assert!(capacity >= 1, "a zero-capacity cache cannot memoize");
-        SweepCache {
-            capacity: Some(capacity),
-            ..Self::default()
-        }
-    }
-
-    /// Lock the table, recovering from poisoning: a panic under the lock
-    /// (one crashed worker) clears the table and un-poisons the mutex, so
+impl Shard {
+    /// Lock this shard, recovering from poisoning: a panic under the lock
+    /// (one crashed worker) clears the shard and un-poisons the mutex, so
     /// the cache keeps serving — conservatively cold — instead of
-    /// bricking every later query.
+    /// bricking every later query. Other shards are untouched.
     fn lock(&self) -> MutexGuard<'_, CacheInner> {
         self.inner.lock().unwrap_or_else(|poisoned| {
             self.inner.clear_poison();
@@ -271,6 +241,142 @@ impl SweepCache {
             guard.plans.clear();
             guard
         })
+    }
+}
+
+/// Per-shard counter snapshot (test and metrics observability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Lookups this shard answered from its memo table.
+    pub hits: u64,
+    /// Lookups this shard sent to a solver.
+    pub misses: u64,
+    /// Entries this shard dropped (LRU bound or checksum self-healing).
+    pub evictions: u64,
+    /// Times this shard's lock was recovered after a panic under it.
+    pub poison_recoveries: u64,
+    /// Plans currently stored in this shard.
+    pub len: usize,
+}
+
+/// Default shard count for unbounded caches ([`SweepCache::new`]).
+const DEFAULT_SHARDS: usize = 16;
+
+/// Thread-safe, bounded, self-healing, sharded memo table for
+/// [`FactorPlan`]s, keyed by `(Dfg::fingerprint(), f)`.
+///
+/// Shared by reference between the workers of a sweep and, optionally,
+/// across whole sweeps (the suite runner and the evaluation service keep
+/// one cache for all kernels; fingerprints keep their entries apart).
+/// Entries are distributed over independent shards by DFG fingerprint, so
+/// concurrent lookups of different kernels take different locks; all the
+/// factors of one kernel share a shard. Two threads racing on the same
+/// key may both compute the plan; the first insert wins and both callers
+/// observe the same `Arc`, so results stay deterministic.
+///
+/// Robustness properties (each holding per shard):
+///
+/// * **bounded** — at most `capacity` entries (unbounded by default);
+///   inserting past a shard's bound evicts its least-recently-used entry
+///   and bumps [`evictions`](Self::evictions);
+/// * **poison-tolerant** — a worker that panics while holding a shard
+///   lock poisons it once; the next caller recovers the lock and clears
+///   *that shard* (a panicking writer may have left it mid-update),
+///   counted by [`poison_recoveries`](Self::poison_recoveries), instead
+///   of propagating panics to every later query forever;
+/// * **self-healing** — every hit re-verifies the entry's checksum; a
+///   corrupted entry is evicted and recomputed instead of served, without
+///   disturbing any other entry.
+#[derive(Debug)]
+pub struct SweepCache {
+    shards: Box<[Shard]>,
+    /// Entry bound per shard (`None` = unbounded).
+    shard_capacity: Option<usize>,
+}
+
+impl Default for SweepCache {
+    fn default() -> Self {
+        Self::with_layout(DEFAULT_SHARDS, None)
+    }
+}
+
+impl SweepCache {
+    /// Fresh, empty, unbounded cache with the default shard count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh cache holding at most (approximately) `capacity` plans, LRU
+    /// per shard. The shard count is derived from the capacity — small
+    /// caches stay single-sharded so the LRU behaves globally; large
+    /// caches spread over up to [`DEFAULT_SHARDS`] shards, each bounded
+    /// by `capacity / shards` (the global bound rounds down to a multiple
+    /// of the shard count).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a zero-capacity cache cannot memoize");
+        // Keep at least 8 entries per shard so one kernel's factor range
+        // cannot thrash a tiny shard.
+        let shards = (capacity / 8).clamp(1, DEFAULT_SHARDS).next_power_of_two();
+        let shards = if shards * 8 > capacity {
+            shards / 2
+        } else {
+            shards
+        }
+        .max(1);
+        Self::with_layout(shards, Some(capacity))
+    }
+
+    /// Fully explicit layout: `shards` (rounded up to a power of two) and
+    /// an optional *total* capacity, split evenly across shards. The
+    /// single-shard layout reproduces the pre-sharding cache exactly —
+    /// one lock, one global LRU order.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero, or a capacity is given that leaves a
+    /// shard with no room (`capacity < shards`).
+    pub fn with_layout(shards: usize, capacity: Option<usize>) -> Self {
+        assert!(shards >= 1, "a cache needs at least one shard");
+        let shards = shards.next_power_of_two();
+        let shard_capacity = capacity.map(|cap| {
+            assert!(
+                cap >= shards,
+                "capacity {cap} leaves some of the {shards} shards empty"
+            );
+            cap / shards
+        });
+        SweepCache {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            shard_capacity,
+        }
+    }
+
+    /// The shard owning `fingerprint`. The fingerprint is already a
+    /// 64-bit hash; one multiplicative mix spreads structurally similar
+    /// kernels (whose fingerprints may share low bits) across shards.
+    fn shard_of(&self, fingerprint: u64) -> &Shard {
+        let mix = fingerprint.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mix >> 32) as usize & (self.shards.len() - 1)]
+    }
+
+    /// How many shards this cache spreads over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The counters of shard `i` (panics when out of range). The rollup
+    /// getters below sum these; tests assert the two views agree.
+    pub fn shard_stats(&self, i: usize) -> ShardStats {
+        let s = &self.shards[i];
+        ShardStats {
+            hits: s.hits.load(Ordering::Relaxed),
+            misses: s.misses.load(Ordering::Relaxed),
+            evictions: s.evictions.load(Ordering::Relaxed),
+            poison_recoveries: s.poison_recoveries.load(Ordering::Relaxed),
+            len: s.lock().plans.len(),
+        }
     }
 
     /// The plan for `(g, f)`, computed on first use and memoized after.
@@ -292,30 +398,31 @@ impl SweepCache {
         budget: &Budget,
     ) -> Result<(Arc<FactorPlan>, PlanSource), Exhausted> {
         let key = (g.fingerprint(), f);
+        let shard = self.shard_of(key.0);
         {
-            let mut inner = self.lock();
+            let mut inner = shard.lock();
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(entry) = inner.plans.get_mut(&key) {
                 if entry.plan.checksum() == entry.checksum {
                     entry.last_used = tick;
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok((Arc::clone(&entry.plan), PlanSource::Solver));
                 }
                 // Self-healing: the stored plan no longer matches its
                 // insert-time checksum. Serving it would be silent
                 // corruption; evict and fall through to recompute.
                 inner.plans.remove(&key);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // The lock is NOT held while solving: plans can take milliseconds,
-        // and other workers should keep making progress on other factors.
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        // No lock is held while solving: plans can take milliseconds, and
+        // other workers should keep making progress on other factors.
         let (plan, source) = compute_plan_budgeted(g, f, budget)?;
         let plan = Arc::new(plan);
         let checksum = plan.checksum();
-        let mut inner = self.lock();
+        let mut inner = shard.lock();
         // A chaos plan can panic here, *while the lock is held* — that is
         // exactly the scenario the poison recovery above exists for.
         failpoint::hit_infallible(sites::EXPLORE_CACHE_INSERT);
@@ -332,7 +439,7 @@ impl SweepCache {
                 plan
             }
         };
-        if let Some(cap) = self.capacity {
+        if let Some(cap) = self.shard_capacity {
             while inner.plans.len() > cap {
                 let oldest = inner
                     .plans
@@ -341,37 +448,49 @@ impl SweepCache {
                     .map(|(k, _)| *k)
                     .expect("len > cap >= 1 implies non-empty");
                 inner.plans.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         Ok((stored, source))
     }
 
-    /// Lookups answered from the memo table.
+    /// Lookups answered from the memo table (all shards).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Lookups that had to run the solver.
+    /// Lookups that had to run the solver (all shards).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.misses.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Entries dropped — by the LRU capacity bound or by checksum
-    /// self-healing.
+    /// Entries dropped — by a shard's LRU capacity bound or by checksum
+    /// self-healing (all shards).
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.evictions.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Times the lock was recovered (and the table cleared) after a
+    /// Times a shard lock was recovered (and that shard cleared) after a
     /// worker panicked while holding it.
     pub fn poison_recoveries(&self) -> u64 {
-        self.poison_recoveries.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.poison_recoveries.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Number of distinct `(fingerprint, f)` plans currently stored.
     pub fn len(&self) -> usize {
-        self.lock().plans.len()
+        self.shards.iter().map(|s| s.lock().plans.len()).sum()
     }
 
     /// `true` when no plan has been stored yet.
@@ -384,8 +503,9 @@ impl SweepCache {
     /// entry is absent. Not part of the stable API.
     #[doc(hidden)]
     pub fn corrupt_entry_for_test(&self, g: &Dfg, f: usize) -> bool {
-        let mut inner = self.lock();
-        match inner.plans.get_mut(&(g.fingerprint(), f)) {
+        let key = (g.fingerprint(), f);
+        let mut inner = self.shard_of(key.0).lock();
+        match inner.plans.get_mut(&key) {
             Some(e) => {
                 e.checksum ^= 0xDEAD_BEEF;
                 true
@@ -526,6 +646,85 @@ mod tests {
             Exhausted::Cancelled
         );
         assert!(cache.is_empty(), "cancelled lookups store nothing");
+    }
+
+    #[test]
+    fn capacity_derives_a_sane_shard_layout() {
+        // Small caches stay single-sharded so the LRU is global...
+        assert_eq!(SweepCache::with_capacity(2).shard_count(), 1);
+        assert_eq!(SweepCache::with_capacity(15).shard_count(), 1);
+        // ...larger ones spread, always keeping >= 8 entries per shard.
+        for cap in [16, 100, 1024, 4096] {
+            let cache = SweepCache::with_capacity(cap);
+            let shards = cache.shard_count();
+            assert!(shards.is_power_of_two(), "cap {cap}: {shards} shards");
+            assert!(shards <= DEFAULT_SHARDS);
+            assert!(cap / shards >= 8, "cap {cap}: {shards} shards");
+        }
+        assert_eq!(SweepCache::with_capacity(1024).shard_count(), 16);
+    }
+
+    #[test]
+    fn shard_counters_roll_up_to_the_totals() {
+        let cache = SweepCache::with_layout(8, None);
+        assert_eq!(cache.shard_count(), 8);
+        // A handful of structurally distinct kernels spread across
+        // shards; every getter must equal the sum over shard_stats.
+        let graphs: Vec<_> = (3..9).map(|k| gen::chain_with_feedback(k, 2)).collect();
+        for g in &graphs {
+            cache.plan(g, 1);
+            cache.plan(g, 2);
+            cache.plan(g, 1); // hit
+        }
+        let (mut hits, mut misses, mut evictions, mut len) = (0, 0, 0, 0);
+        for i in 0..cache.shard_count() {
+            let s = cache.shard_stats(i);
+            hits += s.hits;
+            misses += s.misses;
+            evictions += s.evictions;
+            len += s.len;
+        }
+        assert_eq!(hits, cache.hits());
+        assert_eq!(misses, cache.misses());
+        assert_eq!(evictions, cache.evictions());
+        assert_eq!(len, cache.len());
+        assert_eq!(misses, 2 * graphs.len() as u64);
+        assert_eq!(hits, graphs.len() as u64);
+    }
+
+    #[test]
+    fn factors_of_one_kernel_share_a_shard() {
+        // Sharding is by fingerprint alone, so a kernel's whole factor
+        // range colocates: exactly one shard is non-empty.
+        let cache = SweepCache::with_layout(16, None);
+        let g = gen::chain_with_feedback(6, 3);
+        for f in 1..=4 {
+            cache.plan(&g, f);
+        }
+        let occupied = (0..cache.shard_count())
+            .filter(|&i| cache.shard_stats(i).len > 0)
+            .count();
+        assert_eq!(occupied, 1);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn single_shard_layout_matches_the_unsharded_lru() {
+        // with_layout(1, cap) is the pre-sharding cache: one lock, one
+        // global LRU order (the with_capacity LRU test above exercises
+        // the same layout via capacity derivation).
+        let g = gen::chain_with_feedback(6, 3);
+        let cache = SweepCache::with_layout(1, Some(2));
+        assert_eq!(cache.shard_count(), 1);
+        cache.plan(&g, 1);
+        cache.plan(&g, 2);
+        cache.plan(&g, 1);
+        cache.plan(&g, 3); // evicts the LRU entry, f = 2
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        let hits = cache.hits();
+        cache.plan(&g, 1);
+        assert_eq!(cache.hits(), hits + 1, "f = 1 must have survived");
     }
 
     #[test]

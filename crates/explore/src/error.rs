@@ -39,6 +39,14 @@ pub enum CredError {
     /// type, out-of-range parameter, unknown named kernel, unsupported
     /// schema version.
     Protocol(String),
+    /// The server shed this request at admission: its in-flight bound was
+    /// reached, and queueing further work would only grow latency without
+    /// bound. The request was valid — retrying later is expected to
+    /// succeed.
+    Overloaded {
+        /// The in-flight bound that was hit.
+        limit: usize,
+    },
 }
 
 impl CredError {
@@ -52,6 +60,7 @@ impl CredError {
             CredError::DegradedUnderStrict { .. } => "degraded-under-strict",
             CredError::Io(_) => "io",
             CredError::Protocol(_) => "protocol",
+            CredError::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -77,6 +86,9 @@ impl fmt::Display for CredError {
             }
             CredError::Io(msg) => write!(f, "{msg}"),
             CredError::Protocol(msg) => write!(f, "{msg}"),
+            CredError::Overloaded { limit } => {
+                write!(f, "server overloaded: {limit} requests already in flight")
+            }
         }
     }
 }
@@ -108,6 +120,7 @@ mod tests {
             CredError::DegradedUnderStrict { degraded: 2 },
             CredError::Io("i".into()),
             CredError::Protocol("x".into()),
+            CredError::Overloaded { limit: 256 },
         ];
         let codes: Vec<_> = errors.iter().map(|e| e.code()).collect();
         assert_eq!(
@@ -118,7 +131,8 @@ mod tests {
                 "budget-exhausted",
                 "degraded-under-strict",
                 "io",
-                "protocol"
+                "protocol",
+                "overloaded"
             ]
         );
     }
@@ -142,6 +156,7 @@ mod tests {
             CredError::Parse("bad token".into()),
             CredError::BudgetExhausted(Exhausted::WorkUnits { limit: 3 }),
             CredError::DegradedUnderStrict { degraded: 4 },
+            CredError::Overloaded { limit: 512 },
         ] {
             let s = e.to_string();
             assert!(!s.is_empty() && !s.contains('\n'), "{s:?}");

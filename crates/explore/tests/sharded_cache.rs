@@ -1,0 +1,114 @@
+//! Multi-thread properties of the sharded [`SweepCache`]: the per-shard
+//! counters must roll up to exactly the totals an unsharded cache would
+//! have reported for the same workload, and checksum self-healing must
+//! evict *only* the corrupted entry — sharding is an internal layout
+//! change, never an observable semantics change.
+
+use cred_dfg::{gen, Dfg};
+use cred_explore::cache::SweepCache;
+use proptest::prelude::*;
+
+/// Structurally distinct kernels (distinct fingerprints), cheap to solve.
+fn graphs(count: usize, depth: u32) -> Vec<Dfg> {
+    (0..count)
+        .map(|i| gen::chain_with_feedback(4 + i, depth))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn concurrent_shard_counters_roll_up_to_the_unsharded_totals(
+        count in 3..7usize,
+        depth in 1..4u32,
+        threads in 2..5usize,
+        max_f in 1..3usize,
+    ) {
+        let sharded = SweepCache::with_layout(16, None);
+        let gs = graphs(count, depth);
+        // Each thread owns a disjoint subset of the kernels, so the
+        // per-key hit/miss counts are deterministic even though the
+        // threads hammer the cache concurrently.
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let sharded = &sharded;
+                let gs = &gs;
+                s.spawn(move || {
+                    for (i, g) in gs.iter().enumerate() {
+                        if i % threads != t {
+                            continue;
+                        }
+                        for f in 1..=max_f {
+                            sharded.plan(g, f); // miss
+                            sharded.plan(g, f); // hit
+                        }
+                    }
+                });
+            }
+        });
+        // The rollup getters are exactly the sum over shard_stats.
+        let (mut hits, mut misses, mut evictions, mut poisons, mut len) =
+            (0u64, 0u64, 0u64, 0u64, 0usize);
+        for i in 0..sharded.shard_count() {
+            let st = sharded.shard_stats(i);
+            hits += st.hits;
+            misses += st.misses;
+            evictions += st.evictions;
+            poisons += st.poison_recoveries;
+            len += st.len;
+        }
+        prop_assert_eq!(hits, sharded.hits());
+        prop_assert_eq!(misses, sharded.misses());
+        prop_assert_eq!(evictions, sharded.evictions());
+        prop_assert_eq!(poisons, sharded.poison_recoveries());
+        prop_assert_eq!(len, sharded.len());
+        // And they equal a serial replay of the same workload on the
+        // single-shard (pre-sharding) layout, bit for bit.
+        let single = SweepCache::with_layout(1, None);
+        for g in &gs {
+            for f in 1..=max_f {
+                single.plan(g, f);
+                single.plan(g, f);
+            }
+        }
+        prop_assert_eq!(sharded.hits(), single.hits());
+        prop_assert_eq!(sharded.misses(), single.misses());
+        prop_assert_eq!(sharded.evictions(), single.evictions());
+        prop_assert_eq!(sharded.len(), single.len());
+        prop_assert_eq!(sharded.evictions(), 0, "unbounded caches never evict");
+    }
+
+    #[test]
+    fn checksum_healing_evicts_only_the_corrupt_entry(
+        count in 3..7usize,
+        depth in 1..4u32,
+        victim in 0..64usize,
+    ) {
+        let cache = SweepCache::with_layout(8, None);
+        let gs = graphs(count, depth);
+        for g in &gs {
+            for f in 1..=2 {
+                cache.plan(g, f);
+            }
+        }
+        let len = cache.len();
+        let misses = cache.misses();
+        let victim = victim % gs.len();
+        let truth = (*cache.plan(&gs[victim], 1)).clone();
+        prop_assert!(cache.corrupt_entry_for_test(&gs[victim], 1));
+        // Re-plan everything: exactly one lookup — the corrupted one —
+        // may go back to the solver; every other entry must still hit.
+        for g in &gs {
+            for f in 1..=2 {
+                cache.plan(g, f);
+            }
+        }
+        prop_assert_eq!(cache.evictions(), 1, "healing evicts one entry");
+        prop_assert_eq!(cache.misses(), misses + 1, "one recompute");
+        prop_assert_eq!(cache.len(), len, "the healed entry is re-stored");
+        // The healed plan is the true plan, and healthy thereafter.
+        let healed = (*cache.plan(&gs[victim], 1)).clone();
+        prop_assert_eq!(healed, truth);
+    }
+}

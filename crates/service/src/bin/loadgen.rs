@@ -1,28 +1,56 @@
-//! Load generator for `credc serve`: N concurrent clients, M requests
-//! each, against either a running server (`--addr`) or an in-process
-//! server it spawns itself.
+//! Load generator for `credc serve`: N concurrent clients against either
+//! a running server (`--addr`) or an in-process server it spawns itself.
 //!
-//! Reports throughput and exact p50/p99 client-side latency, checks
-//! every response bit-for-bit against a cold in-process
-//! [`ExploreRequest`] run, and compares against a sequential baseline —
-//! the same total number of requests evaluated one at a time with a
-//! fresh cache each, i.e. what N separate `credc explore` invocations
-//! would do. Results land in `BENCH_serve.json` via `--out`.
+//! Two arrival models:
 //!
-//! Exit status is nonzero if any request fails or any response's points
-//! differ from the cold run.
+//! * **closed-loop** (default): each client sends, waits for the
+//!   response, sends again — M requests per client. Latency is measured
+//!   send-to-receive. Throughput is bounded by the clients themselves.
+//! * **open-loop** (`--rate R`): requests are scheduled on a fixed
+//!   global clock — R requests/second spread evenly over the clients —
+//!   and each client *pipelines*: it writes on schedule whether or not
+//!   earlier responses have arrived, and a separate reader thread drains
+//!   responses in order. Latency is measured from the request's
+//!   *scheduled* send time, so a server that stalls cannot hide queueing
+//!   delay by slowing the arrival clock (no coordinated omission).
+//!
+//! Every successful response is checked bit-for-bit against a
+//! precomputed cold in-process [`ExploreRequest`] table (one entry per
+//! kernel, computed once, shared by every client — the oracle cost does
+//! not grow with the client count). Typed `overloaded` sheds are counted
+//! separately: under deliberate overload they are the server working as
+//! designed, not a failure. Any other error is a failure.
+//!
+//! The sequential baseline is *sampled*: each kernel is cold-solved
+//! `--baseline-reps` times and the mean per-kernel cost is extrapolated
+//! over the whole request mix, so a million-request run does not pay a
+//! million solver calls just to print a comparison.
+//!
+//! Results land in `BENCH_serve.json` via `--out`, including a log2
+//! latency histogram. `--assert-p99-ms` turns the run into a pass/fail
+//! check for CI. Exit status is nonzero on any failure, response
+//! mismatch, or a busted p99 assertion.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use cred_explore::suite::{load_kernels, SCHEMA_VERSION};
 use cred_explore::{point_json, ExploreRequest};
 use cred_service::{Server, ServiceConfig};
+
+/// Stack size for client threads: an open-loop run at 1000+ clients
+/// spawns two threads per client, so the default 8 MiB stacks would
+/// reserve gigabytes for threads that only shuffle strings.
+const CLIENT_STACK: usize = 128 << 10;
+
+/// How long a client keeps retrying `connect` while a thundering herd
+/// overflows the listener backlog.
+const CONNECT_RETRY: Duration = Duration::from_secs(10);
 
 struct Args {
     addr: Option<String>,
@@ -31,6 +59,13 @@ struct Args {
     kernels: PathBuf,
     max_f: usize,
     n: u64,
+    /// Open-loop global arrival rate (requests/second across all
+    /// clients). `None` = closed-loop.
+    rate: Option<f64>,
+    /// Cold solves per kernel for the sampled sequential baseline.
+    baseline_reps: usize,
+    /// Fail the run if the measured p99 exceeds this bound.
+    assert_p99_ms: Option<f64>,
     out: Option<PathBuf>,
     shutdown: bool,
 }
@@ -43,6 +78,9 @@ fn parse_args() -> Result<Args, String> {
         kernels: PathBuf::from("kernels"),
         max_f: 3,
         n: 100,
+        rate: None,
+        baseline_reps: 3,
+        assert_p99_ms: None,
         out: None,
         shutdown: false,
     };
@@ -72,6 +110,27 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--n must be a positive integer".to_string())?
             }
+            "--rate" => {
+                let r: f64 = value("--rate")?
+                    .parse()
+                    .map_err(|_| "--rate must be a number (req/s)".to_string())?;
+                if !r.is_finite() || r <= 0.0 {
+                    return Err("--rate must be positive".to_string());
+                }
+                args.rate = Some(r);
+            }
+            "--baseline-reps" => {
+                args.baseline_reps = value("--baseline-reps")?
+                    .parse()
+                    .map_err(|_| "--baseline-reps must be a non-negative integer".to_string())?
+            }
+            "--assert-p99-ms" => {
+                args.assert_p99_ms = Some(
+                    value("--assert-p99-ms")?
+                        .parse()
+                        .map_err(|_| "--assert-p99-ms must be a number".to_string())?,
+                )
+            }
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             "--shutdown" => args.shutdown = true,
             other => return Err(format!("unknown flag {other}")),
@@ -83,9 +142,61 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// One client's work: a connection, its share of the request mix, and
-/// per-request validation against the expected points.
-fn client_run(
+/// What one client observed.
+#[derive(Default)]
+struct ClientReport {
+    /// Latency (µs) of each successful response.
+    latencies: Vec<u64>,
+    ok: u64,
+    /// Typed `overloaded` rejections.
+    shed: u64,
+    failures: Vec<String>,
+}
+
+fn connect_with_retry(addr: &str) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + CONNECT_RETRY;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("connect {addr}: {e}"));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Validate one response line against the oracle. Returns `Ok(true)` for
+/// a success, `Ok(false)` for a shed, `Err` for anything else.
+fn check_response(
+    resp: &str,
+    id: &str,
+    kernel: &str,
+    expected: &HashMap<String, String>,
+) -> Result<bool, String> {
+    if !resp.contains(&format!("\"id\":\"{id}\"")) {
+        return Err(format!("response out of order: expected id {id}: {resp}"));
+    }
+    if resp.contains("\"ok\":true") {
+        let want = &expected[kernel];
+        if !resp.contains(want.as_str()) {
+            return Err(format!(
+                "kernel {kernel}: response points differ from the cold run\n  want … {want}"
+            ));
+        }
+        return Ok(true);
+    }
+    if resp.contains("\"code\":\"overloaded\"") {
+        return Ok(false);
+    }
+    Err(format!("request {id} failed: {}", resp.trim()))
+}
+
+/// Closed-loop client: send, wait, repeat.
+#[allow(clippy::too_many_arguments)]
+fn client_closed_loop(
     addr: &str,
     client_id: usize,
     requests: usize,
@@ -93,40 +204,164 @@ fn client_run(
     expected: &HashMap<String, String>,
     max_f: usize,
     n: u64,
-) -> Result<Vec<Duration>, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+) -> ClientReport {
+    let mut report = ClientReport::default();
+    let stream = match connect_with_retry(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            report.failures.push(e);
+            return report;
+        }
+    };
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(e) => {
+            report.failures.push(e.to_string());
+            return report;
+        }
+    };
     let mut stream = stream;
-    let mut latencies = Vec::with_capacity(requests);
     for i in 0..requests {
         let name = &names[(client_id * requests + i) % names.len()];
+        let id = format!("c{client_id}-{i}");
         let line = format!(
-            "{{\"type\":\"explore\",\"id\":\"c{client_id}-{i}\",\"kernel\":\"{name}\",\
+            "{{\"type\":\"explore\",\"id\":\"{id}\",\"kernel\":\"{name}\",\
              \"max_f\":{max_f},\"n\":{n}}}\n"
         );
         let start = Instant::now();
-        stream
-            .write_all(line.as_bytes())
-            .map_err(|e| format!("write: {e}"))?;
+        if let Err(e) = stream.write_all(line.as_bytes()) {
+            report.failures.push(format!("write: {e}"));
+            return report;
+        }
         let mut resp = String::new();
-        reader
-            .read_line(&mut resp)
-            .map_err(|e| format!("read: {e}"))?;
-        latencies.push(start.elapsed());
+        if let Err(e) = reader.read_line(&mut resp) {
+            report.failures.push(format!("read: {e}"));
+            return report;
+        }
+        let latency = start.elapsed();
         if resp.is_empty() {
-            return Err("server closed the connection".to_string());
+            report.failures.push("server closed the connection".into());
+            return report;
         }
-        if !resp.contains("\"ok\":true") {
-            return Err(format!("request c{client_id}-{i} failed: {}", resp.trim()));
-        }
-        let want = &expected[name];
-        if !resp.contains(want.as_str()) {
-            return Err(format!(
-                "kernel {name}: response points differ from the cold run\n  want … {want}"
-            ));
+        match check_response(&resp, &id, name, expected) {
+            Ok(true) => {
+                report.ok += 1;
+                report.latencies.push(latency.as_micros() as u64);
+            }
+            Ok(false) => report.shed += 1,
+            Err(msg) => report.failures.push(msg),
         }
     }
-    Ok(latencies)
+    report
+}
+
+/// Open-loop client: a writer (this thread) sends on the global
+/// schedule, pipelining; a reader thread drains the in-order responses
+/// and anchors each latency at its request's *scheduled* send time.
+#[allow(clippy::too_many_arguments)]
+fn client_open_loop(
+    addr: &str,
+    client_id: usize,
+    requests: usize,
+    names: &[String],
+    expected: &HashMap<String, String>,
+    max_f: usize,
+    n: u64,
+    start_at: Instant,
+    interval: Duration,
+    offset: Duration,
+) -> ClientReport {
+    let mut report = ClientReport::default();
+    let stream = match connect_with_retry(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            report.failures.push(e);
+            return report;
+        }
+    };
+    let reader_stream = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(e) => {
+            report.failures.push(e.to_string());
+            return report;
+        }
+    };
+    // The writer tells the reader what it sent and when it was
+    // *scheduled*; responses come back in request order per connection.
+    let (meta_tx, meta_rx) = mpsc::channel::<(Instant, String, String)>();
+    let expected = expected.clone();
+    let reader = std::thread::Builder::new()
+        .stack_size(CLIENT_STACK)
+        .spawn(move || {
+            let mut report = ClientReport::default();
+            let mut reader = BufReader::new(reader_stream);
+            for (scheduled, id, kernel) in meta_rx.iter() {
+                let mut resp = String::new();
+                match reader.read_line(&mut resp) {
+                    Ok(0) => {
+                        report.failures.push("server closed the connection".into());
+                        return report;
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        report.failures.push(format!("read: {e}"));
+                        return report;
+                    }
+                }
+                let latency = scheduled.elapsed();
+                match check_response(&resp, &id, &kernel, &expected) {
+                    Ok(true) => {
+                        report.ok += 1;
+                        report.latencies.push(latency.as_micros() as u64);
+                    }
+                    Ok(false) => report.shed += 1,
+                    Err(msg) => report.failures.push(msg),
+                }
+            }
+            report
+        });
+    let reader = match reader {
+        Ok(handle) => handle,
+        Err(e) => {
+            report.failures.push(format!("spawning reader: {e}"));
+            return report;
+        }
+    };
+    let mut stream = stream;
+    for i in 0..requests {
+        let scheduled = start_at + offset + interval * (i as u32);
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        // If we are *behind* schedule we send immediately but keep the
+        // scheduled instant as the latency anchor: the delay is the
+        // system's fault, not the arrival process's.
+        let name = &names[(client_id * requests + i) % names.len()];
+        let id = format!("c{client_id}-{i}");
+        let line = format!(
+            "{{\"type\":\"explore\",\"id\":\"{id}\",\"kernel\":\"{name}\",\
+             \"max_f\":{max_f},\"n\":{n}}}\n"
+        );
+        if let Err(e) = stream.write_all(line.as_bytes()) {
+            report.failures.push(format!("write: {e}"));
+            break;
+        }
+        if meta_tx.send((scheduled, id, name.clone())).is_err() {
+            break; // reader died; its report carries the reason
+        }
+    }
+    drop(meta_tx);
+    match reader.join() {
+        Ok(mut r) => {
+            report.latencies.append(&mut r.latencies);
+            report.ok += r.ok;
+            report.shed += r.shed;
+            report.failures.append(&mut r.failures);
+        }
+        Err(_) => report.failures.push("reader thread panicked".into()),
+    }
+    report
 }
 
 fn one_request(addr: &str, line: &str) -> Result<String, String> {
@@ -142,12 +377,27 @@ fn one_request(addr: &str, line: &str) -> Result<String, String> {
     Ok(resp.trim().to_string())
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
+/// Exact percentile over sorted microsecond latencies.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
-        return Duration::ZERO;
+        return 0;
     }
     let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
     sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Log2-bucketed histogram of the latencies (bucket b counts values in
+/// `[2^b, 2^(b+1))` µs), trimmed to the last non-empty bucket.
+fn log2_histogram(latencies: &[u64]) -> Vec<u64> {
+    let mut buckets = vec![0u64; 64];
+    let mut top = 0;
+    for &us in latencies {
+        let b = (63 - us.max(1).leading_zeros()) as usize;
+        buckets[b] += 1;
+        top = top.max(b);
+    }
+    buckets.truncate(top + 1);
+    buckets
 }
 
 fn main() -> ExitCode {
@@ -174,36 +424,45 @@ fn run(args: Args) -> Result<(), String> {
         return Err(format!("no .loop kernels in {}", args.kernels.display()));
     }
     let names: Vec<String> = kernels.iter().map(|(n, _)| n.clone()).collect();
+    let total = args.clients * args.requests;
 
-    // Cold in-process runs: the ground truth every server response must
-    // match bit-for-bit, and the per-request cost of the baseline.
+    // The oracle table: one cold in-process run per *kernel* (not per
+    // request), shared read-only by every client thread. A 1000-client
+    // run validates a million responses against these few strings.
     let mut expected = HashMap::new();
+    let mut kernel_cost = HashMap::new();
     for (name, g) in &kernels {
+        let start = Instant::now();
         let resp = ExploreRequest::new(g.clone())
             .max_f(args.max_f)
             .trip_count(args.n)
             .run()
             .map_err(|e| format!("cold run of {name}: {e}"))?;
+        let mut cost = start.elapsed();
         let points: Vec<String> = resp.points.iter().map(point_json).collect();
         expected.insert(name.clone(), format!("\"points\":[{}]", points.join(",")));
+        // Sampled baseline: a few more cold solves per kernel, averaged.
+        for _ in 1..args.baseline_reps.max(1) {
+            let start = Instant::now();
+            ExploreRequest::new(g.clone())
+                .max_f(args.max_f)
+                .trip_count(args.n)
+                .run()
+                .map_err(|e| format!("baseline run of {name}: {e}"))?;
+            cost += start.elapsed();
+        }
+        kernel_cost.insert(
+            name.clone(),
+            cost.as_secs_f64() / args.baseline_reps.max(1) as f64,
+        );
     }
 
-    let total = args.clients * args.requests;
-
-    // Sequential baseline: `total` cold evaluations, fresh cache each —
-    // what issuing the same workload as separate CLI invocations costs
-    // in solver time alone (no process spawning, so it flatters the
-    // baseline if anything).
-    let baseline_start = Instant::now();
-    for i in 0..total {
-        let (_, g) = &kernels[i % kernels.len()];
-        ExploreRequest::new(g.clone())
-            .max_f(args.max_f)
-            .trip_count(args.n)
-            .run()
-            .map_err(|e| format!("baseline run: {e}"))?;
-    }
-    let baseline = baseline_start.elapsed();
+    // Extrapolated sequential baseline: what `total` cold evaluations in
+    // a fresh process each would cost in solver time alone, following
+    // the exact request mix (round-robin over kernels).
+    let baseline_secs: f64 = (0..total)
+        .map(|i| kernel_cost[&names[i % names.len()]])
+        .sum();
 
     // Target server: the given address, or one spawned in-process.
     let (addr, server_thread) = match &args.addr {
@@ -225,6 +484,15 @@ fn run(args: Args) -> Result<(), String> {
 
     let expected = Arc::new(expected);
     let names = Arc::new(names);
+    // Open-loop schedule: `rate` req/s globally, interleaved round-robin
+    // over the clients, first arrivals staggered one global tick apart.
+    let schedule = args.rate.map(|rate| {
+        let interval = Duration::from_secs_f64(args.clients as f64 / rate);
+        let tick = Duration::from_secs_f64(1.0 / rate);
+        (interval, tick)
+    });
+    // Give every client time to connect before the clock starts.
+    let start_at = Instant::now() + Duration::from_millis(200 + (args.clients / 10) as u64);
     let serve_start = Instant::now();
     let handles: Vec<_> = (0..args.clients)
         .map(|c| {
@@ -232,15 +500,38 @@ fn run(args: Args) -> Result<(), String> {
             let names = Arc::clone(&names);
             let expected = Arc::clone(&expected);
             let (requests, max_f, n) = (args.requests, args.max_f, args.n);
-            std::thread::spawn(move || client_run(&addr, c, requests, &names, &expected, max_f, n))
+            std::thread::Builder::new()
+                .stack_size(CLIENT_STACK)
+                .spawn(move || match schedule {
+                    Some((interval, tick)) => client_open_loop(
+                        &addr,
+                        c,
+                        requests,
+                        &names,
+                        &expected,
+                        max_f,
+                        n,
+                        start_at,
+                        interval,
+                        tick * (c as u32),
+                    ),
+                    None => client_closed_loop(&addr, c, requests, &names, &expected, max_f, n),
+                })
+                .expect("spawning client thread")
         })
         .collect();
-    let mut latencies = Vec::with_capacity(total);
+    let mut latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut ok = 0u64;
+    let mut shed = 0u64;
     let mut failures = Vec::new();
     for h in handles {
         match h.join() {
-            Ok(Ok(mut l)) => latencies.append(&mut l),
-            Ok(Err(msg)) => failures.push(msg),
+            Ok(mut r) => {
+                latencies.append(&mut r.latencies);
+                ok += r.ok;
+                shed += r.shed;
+                failures.append(&mut r.failures);
+            }
             Err(_) => failures.push("client thread panicked".to_string()),
         }
     }
@@ -258,30 +549,46 @@ fn run(args: Args) -> Result<(), String> {
     }
 
     latencies.sort_unstable();
-    let baseline_rps = total as f64 / baseline.as_secs_f64();
-    let server_rps = total as f64 / served.as_secs_f64();
+    let baseline_rps = total as f64 / baseline_secs;
+    let server_rps = ok as f64 / served.as_secs_f64();
     let speedup = server_rps / baseline_rps;
     let p50 = percentile(&latencies, 50.0);
+    let p90 = percentile(&latencies, 90.0);
     let p99 = percentile(&latencies, 99.0);
+    let max = latencies.last().copied().unwrap_or(0);
+    let histogram = log2_histogram(&latencies);
+    let histogram_json = histogram
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
 
+    let (mode, rate_json) = match args.rate {
+        Some(r) => ("open-loop", format!("{r:.1}")),
+        None => ("closed-loop", "null".to_string()),
+    };
     let report = format!(
-        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"clients\": {},\n  \
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"mode\": \"{mode}\",\n  \
+         \"rate_rps\": {rate_json},\n  \"clients\": {},\n  \
          \"requests_per_client\": {},\n  \"total_requests\": {total},\n  \
+         \"ok\": {ok},\n  \"shed\": {shed},\n  \"failed\": {},\n  \
          \"max_f\": {},\n  \"n\": {},\n  \"kernel_count\": {},\n  \
-         \"baseline\": {{ \"seconds\": {:.6}, \"rps\": {:.1} }},\n  \
-         \"server\": {{ \"seconds\": {:.6}, \"rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {} }},\n  \
+         \"baseline\": {{ \"seconds\": {:.6}, \"rps\": {:.1}, \"reps_per_kernel\": {} }},\n  \
+         \"server\": {{ \"seconds\": {:.6}, \"rps\": {:.1}, \"p50_us\": {p50}, \
+         \"p90_us\": {p90}, \"p99_us\": {p99}, \"max_us\": {max} }},\n  \
+         \"latency_log2_buckets_us\": [{histogram_json}],\n  \
          \"speedup\": {:.2},\n  \"server_stats\": {}\n}}\n",
         args.clients,
         args.requests,
+        failures.len(),
         args.max_f,
         args.n,
         names.len(),
-        baseline.as_secs_f64(),
+        baseline_secs,
         baseline_rps,
+        args.baseline_reps.max(1),
         served.as_secs_f64(),
         server_rps,
-        p50.as_micros(),
-        p99.as_micros(),
         speedup,
         // Peel the stats object out of the response envelope: the body
         // is everything after "stats": minus the envelope's final '}'.
@@ -293,20 +600,17 @@ fn run(args: Args) -> Result<(), String> {
     );
 
     println!(
-        "loadgen: {total} requests, {} ok, {} failed",
-        latencies.len(),
+        "loadgen ({mode}): {total} requests, {ok} ok, {shed} shed, {} failed",
         failures.len()
     );
     println!(
-        "  baseline (sequential, cold cache): {:>8.1} req/s",
+        "  baseline (sequential, cold cache, sampled): {:>8.1} req/s",
         baseline_rps
     );
     println!(
-        "  server ({} clients):               {:>8.1} req/s  (p50 {} µs, p99 {} µs)",
-        args.clients,
-        server_rps,
-        p50.as_micros(),
-        p99.as_micros()
+        "  server ({} clients):                        {:>8.1} req/s  \
+         (p50 {p50} µs, p90 {p90} µs, p99 {p99} µs)",
+        args.clients, server_rps,
     );
     println!("  speedup: {speedup:.2}x");
     if let Some(out) = &args.out {
@@ -315,10 +619,19 @@ fn run(args: Args) -> Result<(), String> {
     }
     if !failures.is_empty() {
         return Err(format!(
-            "{} client(s) failed; first: {}",
+            "{} request(s) failed; first: {}",
             failures.len(),
             failures[0]
         ));
+    }
+    if let Some(bound_ms) = args.assert_p99_ms {
+        let p99_ms = p99 as f64 / 1000.0;
+        if p99_ms > bound_ms {
+            return Err(format!(
+                "p99 latency {p99_ms:.3} ms exceeds the asserted bound {bound_ms} ms"
+            ));
+        }
+        println!("  p99 {p99_ms:.3} ms within bound {bound_ms} ms");
     }
     Ok(())
 }

@@ -8,16 +8,28 @@
 //! work — cross-request memoization is the [`SweepCache`]'s job, one
 //! layer down.
 //!
+//! The flight table is **sharded by key hash**: each shard is its own
+//! `Mutex<HashMap>`, so a thousand concurrent requests for *different*
+//! keys no longer serialize on one map lock just to discover they have
+//! nothing to coalesce with. Only key-equal requests ever meet on a lock.
+//!
 //! Panic safety: if the leader's closure panics, a drop guard marks the
 //! flight abandoned and wakes the joiners, which then retry — the first
 //! to arrive becomes the new leader. Joiners never inherit a poisoned
-//! result or hang on a dead flight.
+//! result or hang on a dead flight. A panic that poisons a shard lock
+//! itself is recovered (the lock is taken anyway) and counted in
+//! [`Coalescer::poison_recoveries`], mirroring the cache's accounting,
+//! instead of being swallowed silently.
 //!
 //! [`SweepCache`]: cred_explore::cache::SweepCache
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Number of independent flight-table shards (power of two).
+const FLIGHT_SHARDS: usize = 16;
 
 enum FlightState<V> {
     /// The leader is still computing.
@@ -42,15 +54,23 @@ pub enum Role {
     Joined,
 }
 
-/// A singleflight table: at most one in-flight computation per key.
+/// One shard of the flight table: the keys currently being computed.
+type FlightTable<K, V> = HashMap<K, Arc<Flight<V>>>;
+
+/// A sharded singleflight table: at most one in-flight computation per
+/// key, at most one lock touched per call.
 pub struct Coalescer<K, V> {
-    flights: Mutex<HashMap<K, Arc<Flight<V>>>>,
+    shards: Box<[Mutex<FlightTable<K, V>>]>,
+    hasher: RandomState,
+    poison_recoveries: AtomicU64,
 }
 
 impl<K, V> Default for Coalescer<K, V> {
     fn default() -> Self {
         Coalescer {
-            flights: Mutex::new(HashMap::new()),
+            shards: (0..FLIGHT_SHARDS).map(|_| Mutex::default()).collect(),
+            hasher: RandomState::new(),
+            poison_recoveries: AtomicU64::new(0),
         }
     }
 }
@@ -59,6 +79,24 @@ impl<K: Eq + Hash + Clone, V: Clone> Coalescer<K, V> {
     /// A fresh table with no flights.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The shard owning `key`.
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<Flight<V>>>> {
+        let h = self.hasher.hash_one(key);
+        &self.shards[(h >> 32) as usize & (self.shards.len() - 1)]
+    }
+
+    /// Lock `m`, recovering from poisoning. A panic under a flight-table
+    /// lock (the map operations are tiny, but chaos plans and OOM aborts
+    /// exist) must not brick every later request sharing the shard; the
+    /// recovery is counted, never silent.
+    fn lock<'a, T>(&self, m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|p| {
+            m.clear_poison();
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            p.into_inner()
+        })
     }
 
     /// Compute-or-join: if no flight for `key` is pending, run `compute`
@@ -72,7 +110,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Coalescer<K, V> {
         let mut compute = Some(compute);
         loop {
             let flight = {
-                let mut flights = lock_ignoring_poison(&self.flights);
+                let mut flights = self.lock(self.shard(&key));
                 if let Some(existing) = flights.get(&key) {
                     Arc::clone(existing)
                 } else {
@@ -96,7 +134,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Coalescer<K, V> {
                 }
             };
             // Joiner path: wait out the flight.
-            let mut state = lock_ignoring_poison(&flight.state);
+            let mut state = self.lock(&flight.state);
             loop {
                 match &*state {
                     FlightState::Pending => {
@@ -111,9 +149,35 @@ impl<K: Eq + Hash + Clone, V: Clone> Coalescer<K, V> {
         }
     }
 
-    /// Number of flights currently pending (test observability).
+    /// Number of flights currently pending, across all shards (test
+    /// observability).
     pub fn in_flight(&self) -> usize {
-        lock_ignoring_poison(&self.flights).len()
+        self.shards.iter().map(|s| self.lock(s).len()).sum()
+    }
+
+    /// Times a poisoned shard (or flight-state) lock was recovered.
+    /// Surfaced as `coalesce_poison_recoveries` in the service metrics.
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Test hook: poison the shard lock owning `key` by panicking a
+    /// throwaway thread while it holds the lock. Not part of the stable
+    /// API.
+    #[doc(hidden)]
+    pub fn poison_shard_for_test(&self, key: &K)
+    where
+        K: Send + Sync,
+        V: Send + Sync,
+    {
+        let shard = self.shard(key);
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = shard.lock().expect("not yet poisoned");
+                panic!("deliberate poison");
+            });
+            assert!(handle.join().is_err(), "the poisoner must panic");
+        });
     }
 }
 
@@ -135,8 +199,9 @@ impl<K: Eq + Hash + Clone, V: Clone> AbandonGuard<'_, K, V> {
     fn publish(&self, state: FlightState<V>) {
         // Remove the flight first so late arrivals start fresh instead of
         // joining a finished (or dead) flight.
-        lock_ignoring_poison(&self.coalescer.flights).remove(self.key);
-        *lock_ignoring_poison(&self.flight.state) = state;
+        let c = self.coalescer;
+        c.lock(c.shard(self.key)).remove(self.key);
+        *c.lock(&self.flight.state) = state;
         self.flight.done.notify_all();
     }
 }
@@ -147,10 +212,6 @@ impl<K: Eq + Hash + Clone, V: Clone> Drop for AbandonGuard<'_, K, V> {
             self.publish(FlightState::Abandoned);
         }
     }
-}
-
-fn lock_ignoring_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 #[cfg(test)]
@@ -221,6 +282,19 @@ mod tests {
     }
 
     #[test]
+    fn many_distinct_keys_spread_over_shards() {
+        // 256 keys must touch more than one shard (with 16 shards the
+        // chance of a uniform hash packing them into one is ~16^-255),
+        // and every flight must still complete and clean up after itself.
+        let c = Coalescer::new();
+        for i in 0..256u64 {
+            let (v, role) = c.run(i, || i * 3);
+            assert_eq!((v, role), (i * 3, Role::Led));
+        }
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
     fn sequential_calls_recompute() {
         // Coalescing is for overlap only; completed flights vanish.
         let c = Coalescer::new();
@@ -264,6 +338,27 @@ mod tests {
         assert!(doomed.join().is_err(), "leader's panic propagates");
         let (v, _) = survivor.join().unwrap();
         assert_eq!(v, 99, "joiner retried as the new leader");
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn poisoned_shard_lock_is_recovered_and_counted() {
+        let c: Coalescer<u32, u32> = Coalescer::new();
+        assert_eq!(c.poison_recoveries(), 0);
+        c.poison_shard_for_test(&7);
+        // The next call through the poisoned shard recovers the lock,
+        // counts it, and works normally — no panic, no hang, no silent
+        // swallow.
+        let (v, role) = c.run(7, || 70);
+        assert_eq!((v, role), (70, Role::Led));
+        assert!(
+            c.poison_recoveries() >= 1,
+            "recovery must be recorded, got {}",
+            c.poison_recoveries()
+        );
+        // The shard keeps serving afterwards.
+        let (v, _) = c.run(7, || 71);
+        assert_eq!(v, 71);
         assert_eq!(c.in_flight(), 0);
     }
 }

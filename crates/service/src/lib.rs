@@ -19,6 +19,7 @@
 pub mod coalesce;
 pub mod json;
 pub mod metrics;
+pub mod poller;
 pub mod server;
 
 pub use coalesce::{Coalescer, Role};

@@ -99,6 +99,9 @@ pub struct Metrics {
     pub failed_points: AtomicU64,
     /// Requests rejected or cut off with a budget-exhausted error.
     pub budget_exhaustions: AtomicU64,
+    /// Explore requests shed at admission (typed `overloaded` response)
+    /// because the in-flight bound was reached.
+    pub shed_requests: AtomicU64,
     /// Latency of explore requests, arrival to response rendered.
     pub explore_latency: Histogram,
 }
@@ -109,8 +112,10 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Freeze every counter, pairing it with the shared cache's stats.
-    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+    /// Freeze every counter, pairing it with the shared cache's stats and
+    /// the coalescer's poison-recovery count (which lives on the
+    /// coalescer itself, next to the lock it guards).
+    pub fn snapshot(&self, cache: CacheStats, coalesce_poison_recoveries: u64) -> MetricsSnapshot {
         let latency = self.explore_latency.snapshot();
         MetricsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
@@ -119,9 +124,11 @@ impl Metrics {
             explore_computes: self.explore_computes.load(Ordering::Relaxed),
             coalesced_joins: self.coalesced_joins.load(Ordering::Relaxed),
             coalesce_recomputes: self.coalesce_recomputes.load(Ordering::Relaxed),
+            coalesce_poison_recoveries,
             degraded_points: self.degraded_points.load(Ordering::Relaxed),
             failed_points: self.failed_points.load(Ordering::Relaxed),
             budget_exhaustions: self.budget_exhaustions.load(Ordering::Relaxed),
+            shed_requests: self.shed_requests.load(Ordering::Relaxed),
             p50_micros: percentile_micros(&latency, 50.0),
             p99_micros: percentile_micros(&latency, 99.0),
             cache,
@@ -144,12 +151,17 @@ pub struct MetricsSnapshot {
     pub coalesced_joins: u64,
     /// See [`Metrics::coalesce_recomputes`].
     pub coalesce_recomputes: u64,
+    /// Poisoned coalescer locks recovered
+    /// ([`crate::Coalescer::poison_recoveries`]).
+    pub coalesce_poison_recoveries: u64,
     /// See [`Metrics::degraded_points`].
     pub degraded_points: u64,
     /// See [`Metrics::failed_points`].
     pub failed_points: u64,
     /// See [`Metrics::budget_exhaustions`].
     pub budget_exhaustions: u64,
+    /// See [`Metrics::shed_requests`].
+    pub shed_requests: u64,
     /// Estimated median explore latency (µs, bucket upper bound).
     pub p50_micros: u64,
     /// Estimated 99th-percentile explore latency (µs).
@@ -163,9 +175,11 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"requests\":{},\"ok\":{},\"errors\":{},\"explore_computes\":{},\
-             \"coalesced_joins\":{},\"coalesce_recomputes\":{},\"degraded_points\":{},\
+             \"coalesced_joins\":{},\"coalesce_recomputes\":{},\
+             \"coalesce_poison_recoveries\":{},\"degraded_points\":{},\
              \"failed_points\":{},\
-             \"budget_exhaustions\":{},\"explore_latency\":{{\"p50_us\":{},\"p99_us\":{}}},\
+             \"budget_exhaustions\":{},\"shed_requests\":{},\
+             \"explore_latency\":{{\"p50_us\":{},\"p99_us\":{}}},\
              \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"poison_recoveries\":{}}}}}",
             self.requests,
             self.ok,
@@ -173,9 +187,11 @@ impl MetricsSnapshot {
             self.explore_computes,
             self.coalesced_joins,
             self.coalesce_recomputes,
+            self.coalesce_poison_recoveries,
             self.degraded_points,
             self.failed_points,
             self.budget_exhaustions,
+            self.shed_requests,
             self.p50_micros,
             self.p99_micros,
             self.cache.hits,
@@ -229,11 +245,17 @@ mod tests {
         Metrics::bump(&m.requests);
         Metrics::bump(&m.ok);
         m.explore_latency.record(Duration::from_micros(250));
-        let snap = m.snapshot(CacheStats::default());
+        Metrics::bump(&m.shed_requests);
+        let snap = m.snapshot(CacheStats::default(), 3);
         let j = snap.to_json();
         let v = crate::json::parse(&j).expect("stats JSON parses");
         assert_eq!(v.get("requests").and_then(|x| x.as_u64()), Some(1));
         assert_eq!(v.get("ok").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("shed_requests").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(
+            v.get("coalesce_poison_recoveries").and_then(|x| x.as_u64()),
+            Some(3)
+        );
         assert!(v.get("explore_latency").is_some());
         assert!(v.get("cache").is_some());
     }

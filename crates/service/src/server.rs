@@ -1,5 +1,6 @@
-//! The evaluation server: NDJSON over TCP, a worker pool, one shared
-//! cache, and per-request admission control.
+//! The evaluation server: NDJSON over TCP on a nonblocking readiness
+//! event loop, a compute-only worker pool, one shared cache, and
+//! per-request admission control.
 //!
 //! # Protocol
 //!
@@ -12,18 +13,35 @@
 //!
 //! # Concurrency model
 //!
-//! The accept loop is non-blocking and hands connections to a fixed pool
-//! of worker threads over a channel; each worker owns one connection at a
-//! time and polls it with a short read timeout so the shutdown flag is
-//! observed within a few hundred milliseconds. Identical concurrent
-//! explore requests — same kernel fingerprint, `max_f`, `n`, and mode —
-//! coalesce onto one computation ([`crate::coalesce`]); everything the
-//! leader computes lands in the process-wide [`SweepCache`] shared by
-//! every request thereafter. A leader outcome that was shaped by the
-//! leader's own budget (a budget-exhausted error, or exhaustion-caused
-//! degradations) is never handed to a joiner, whose limits may differ:
-//! the joiner recomputes under its own limits against the shared cache
-//! instead (counted as `coalesce_recomputes`).
+//! One event-loop thread owns the listener and every connection,
+//! multiplexed through a level-triggered [`Poller`] (epoll on Linux,
+//! `poll(2)` elsewhere) — a connection costs a buffer pair, not a
+//! thread, so thousands of concurrent clients are cheap. Each connection
+//! is a small state machine: bytes are read nonblockingly into a line
+//! buffer, complete lines are parsed on the loop, and cheap requests
+//! (`ping`, `stats`, `shutdown`, protocol errors) are answered inline.
+//! `explore` requests — the only ones that compute — are handed to a
+//! fixed worker pool over a channel; workers never touch sockets, and
+//! the loop never computes, so neither can stall the other. A finished
+//! worker pushes its rendered response onto a completion queue and wakes
+//! the loop through the poller's eventfd/self-pipe [`Waker`].
+//!
+//! Responses are sequenced per connection: every request takes a ticket
+//! when its line is parsed and responses are flushed strictly in ticket
+//! order, so pipelined clients observe exactly the ordering a blocking
+//! server would have produced. Writes are nonblocking with explicit
+//! backpressure: a connection whose unflushed output exceeds a
+//! high-water mark stops being read until the client drains it.
+//!
+//! Identical concurrent explore requests — same kernel fingerprint,
+//! `max_f`, `n`, and mode — coalesce onto one computation
+//! ([`crate::coalesce`]); everything the leader computes lands in the
+//! process-wide [`SweepCache`] shared by every request thereafter. A
+//! leader outcome that was shaped by the leader's own budget (a
+//! budget-exhausted error, or exhaustion-caused degradations) is never
+//! handed to a joiner, whose limits may differ: the joiner recomputes
+//! under its own limits against the shared cache instead (counted as
+//! `coalesce_recomputes`).
 //!
 //! # Admission control
 //!
@@ -31,13 +49,30 @@
 //! read), not at solver start: a request that has already overstayed when
 //! a worker picks it up — or that finishes its coalesced computation too
 //! late — is answered with a typed `budget-exhausted` error rather than a
-//! dropped connection or a stale success.
+//! dropped connection or a stale success. On top of the deadline, the
+//! loop bounds the number of explore requests in flight
+//! ([`ServiceConfig::max_in_flight`]): once the bound is reached, further
+//! explores are *shed* immediately with a typed `overloaded` error
+//! (counted as `shed_requests`) instead of queueing without bound —
+//! under overload the server degrades into fast rejections, not growing
+//! latency.
+//!
+//! # Shutdown
+//!
+//! A `shutdown` request flips the loop into teardown: the response is
+//! flushed, the master cancel token stops in-flight solves cooperatively,
+//! already-admitted completions are drained briefly, and the worker
+//! channel is closed. The loop itself is woken explicitly (it never sits
+//! in a sleep-and-poll cycle), so shutdown with idle connections open
+//! completes in milliseconds.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -51,14 +86,11 @@ use cred_resilience::{CancelToken, DegradeCause, Exhausted};
 use crate::coalesce::{Coalescer, Role};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
+use crate::poller::{Event, Interest, Poller, Waker};
 
 /// Hard cap on one request line. Sources are small; anything beyond this
 /// is rejected as a protocol error and the connection closed.
 const MAX_LINE_BYTES: usize = 1 << 20;
-
-/// How long a worker blocks in `read` before re-checking the shutdown
-/// flag.
-const READ_POLL: Duration = Duration::from_millis(200);
 
 /// Largest accepted `max_f` (the sweep is exponential in `f`; 16 is far
 /// beyond the paper's design space).
@@ -71,12 +103,34 @@ const MAX_N: u64 = 1 << 40;
 /// worker for long).
 const MAX_DEBUG_DELAY_MS: u64 = 5_000;
 
+/// Registration token of the listen socket (`u64::MAX` is the poller's
+/// own wake token; connection tokens count up from zero).
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+/// Unflushed-output level above which a connection stops being read
+/// (write backpressure engages).
+const WRITE_HIGH_WATER: usize = 1 << 20;
+
+/// Unflushed-output level below which a paused connection resumes
+/// reading.
+const WRITE_LOW_WATER: usize = 64 << 10;
+
+/// Absolute cap on unflushed output: a client that stops reading
+/// entirely is disconnected rather than buffered forever.
+const WRITE_HARD_CAP: usize = 1 << 26;
+
+/// Bytes read per connection per readiness event before yielding to
+/// other connections (level-triggered readiness re-fires if more data
+/// waits).
+const READ_FAIR_SHARE: usize = 64 << 10;
+
 /// Server configuration, normally built from `credc serve` flags.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
     pub addr: String,
-    /// Worker threads (each owns one connection at a time).
+    /// Worker threads (the compute pool; connections are not tied to
+    /// workers).
     pub workers: usize,
     /// Capacity of the process-wide [`SweepCache`].
     pub cache_capacity: usize,
@@ -88,6 +142,13 @@ pub struct ServiceConfig {
     pub kernels_dir: Option<PathBuf>,
     /// Where to write a final metrics snapshot on shutdown.
     pub metrics_dump: Option<PathBuf>,
+    /// Most explore requests admitted concurrently; beyond this the
+    /// server sheds with a typed `overloaded` error.
+    pub max_in_flight: usize,
+    /// Use the portable `poll(2)` backend even where epoll is available
+    /// (exercised by tests; harmless in production, just O(connections)
+    /// per wakeup).
+    pub force_poll_backend: bool,
 }
 
 impl Default for ServiceConfig {
@@ -99,6 +160,8 @@ impl Default for ServiceConfig {
             default_deadline: None,
             kernels_dir: None,
             metrics_dump: None,
+            max_in_flight: 512,
+            force_poll_backend: false,
         }
     }
 }
@@ -111,16 +174,40 @@ type ExploreKey = (u64, usize, u64, u8);
 /// computes it once, every joiner clones the `Arc`.
 type SharedOutcome = Arc<Result<ExploreResponse, CredError>>;
 
-/// Everything the workers share.
+/// Everything the workers and the event loop share.
 struct Shared {
     cache: SweepCache,
     kernels: HashMap<String, Dfg>,
     metrics: Metrics,
     coalescer: Coalescer<ExploreKey, SharedOutcome>,
-    shutdown: AtomicBool,
     /// Cancelled on shutdown so in-flight solves stop cooperatively.
     master_cancel: CancelToken,
     default_deadline: Option<Duration>,
+}
+
+impl Shared {
+    fn stats_snapshot(&self) -> crate::MetricsSnapshot {
+        self.metrics.snapshot(
+            CacheStats::of(&self.cache),
+            self.coalescer.poison_recoveries(),
+        )
+    }
+}
+
+/// One explore request in flight to the worker pool.
+struct Job {
+    token: u64,
+    seq: u64,
+    req: Json,
+    id: Option<String>,
+    arrival: Instant,
+}
+
+/// A worker's finished response, routed back to its connection.
+struct Completion {
+    token: u64,
+    seq: u64,
+    line: String,
 }
 
 /// A bound, not-yet-running server.
@@ -129,6 +216,8 @@ pub struct Server {
     shared: Arc<Shared>,
     workers: usize,
     metrics_dump: Option<PathBuf>,
+    max_in_flight: usize,
+    force_poll_backend: bool,
 }
 
 impl Server {
@@ -141,6 +230,11 @@ impl Server {
         if config.cache_capacity < 1 {
             return Err(CredError::Protocol(
                 "cache capacity must be at least 1".into(),
+            ));
+        }
+        if config.max_in_flight < 1 {
+            return Err(CredError::Protocol(
+                "max in-flight bound must be at least 1".into(),
             ));
         }
         let listener = TcpListener::bind(&config.addr)
@@ -159,12 +253,13 @@ impl Server {
                 kernels,
                 metrics: Metrics::default(),
                 coalescer: Coalescer::new(),
-                shutdown: AtomicBool::new(false),
                 master_cancel: CancelToken::new(),
                 default_deadline: config.default_deadline,
             }),
             workers: config.workers,
             metrics_dump: config.metrics_dump,
+            max_in_flight: config.max_in_flight,
+            force_poll_backend: config.force_poll_backend,
         })
     }
 
@@ -174,186 +269,590 @@ impl Server {
     }
 
     /// Accept and serve until a `shutdown` request arrives. Returns after
-    /// every worker has drained, the master cancel token has fired, and
-    /// the optional metrics dump has been written.
+    /// in-flight work has been cancelled and drained, every worker has
+    /// joined, and the optional metrics dump has been written.
     pub fn run(self) -> Result<(), CredError> {
         self.listener.set_nonblocking(true)?;
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let poller = Poller::new(self.force_poll_backend)
+            .map_err(|e| CredError::Io(format!("poller: {e}")))?;
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let mut handles = Vec::with_capacity(self.workers);
         for i in 0..self.workers {
             let rx = Arc::clone(&rx);
             let shared = Arc::clone(&self.shared);
+            let completions = Arc::clone(&completions);
+            let waker = poller.waker();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("cred-service-worker-{i}"))
-                    .spawn(move || worker_loop(rx, shared))
+                    .spawn(move || worker_loop(rx, shared, completions, waker))
                     .map_err(|e| CredError::Io(format!("spawning worker: {e}")))?,
             );
         }
-        while !self.shared.shutdown.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    // A send can only fail if every worker died, which
-                    // only happens on shutdown.
-                    if tx.send(stream).is_err() {
-                        break;
-                    }
-                }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(CredError::Io(format!("accept: {e}"))),
-            }
-        }
-        // Stop in-flight solves, then let workers observe the flag at
-        // their next read poll.
+        let mut event_loop = EventLoop {
+            poller,
+            listener: self.listener,
+            conns: HashMap::new(),
+            next_token: 0,
+            tx,
+            completions,
+            shared: Arc::clone(&self.shared),
+            in_flight: 0,
+            max_in_flight: self.max_in_flight,
+            shutdown: false,
+        };
+        event_loop
+            .poller
+            .register(
+                event_loop.listener.as_raw_fd(),
+                LISTENER_TOKEN,
+                Interest::READ,
+            )
+            .map_err(|e| CredError::Io(format!("registering listener: {e}")))?;
+        let result = event_loop.run();
+        // Teardown: stop in-flight solves, drain what was already
+        // admitted (cancellation makes those finish promptly), flush the
+        // last responses, then close the channel and join the pool.
         self.shared.master_cancel.cancel();
-        drop(tx);
+        event_loop.drain_in_flight(Duration::from_secs(2));
+        event_loop.final_flush(Duration::from_millis(100));
+        drop(event_loop);
         for h in handles {
             let _ = h.join();
         }
         if let Some(path) = &self.metrics_dump {
-            let snap = self
-                .shared
-                .metrics
-                .snapshot(CacheStats::of(&self.shared.cache));
+            let snap = self.shared.stats_snapshot();
             std::fs::write(path, snap.to_json() + "\n")
                 .map_err(|e| CredError::Io(format!("writing {}: {e}", path.display())))?;
         }
+        result
+    }
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    /// Bytes read but not yet split into lines.
+    rbuf: Vec<u8>,
+    /// Rendered responses not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` has been written.
+    wpos: usize,
+    /// Ticket handed to the next parsed request.
+    next_seq: u64,
+    /// Ticket whose response must be flushed next.
+    next_flush: u64,
+    /// Finished responses waiting for their flush turn.
+    done: BTreeMap<u64, String>,
+    /// Requests of this connection currently in the worker pool.
+    outstanding: usize,
+    /// Peer sent EOF (or the connection turned protocol-fatal): stop
+    /// reading, finish outstanding work, flush, close.
+    read_closed: bool,
+    /// Reading paused by write backpressure.
+    paused: bool,
+    /// Fatal error: drop the connection at the next update.
+    dead: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn unflushed(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+/// The readiness loop: owns the listener, every connection, and the
+/// dispatch side of the worker pool.
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    tx: mpsc::Sender<Job>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    shared: Arc<Shared>,
+    /// Explore requests dispatched to workers and not yet completed.
+    in_flight: usize,
+    max_in_flight: usize,
+    shutdown: bool,
+}
+
+impl EventLoop {
+    fn run(&mut self) -> Result<(), CredError> {
+        let mut events: Vec<Event> = Vec::new();
+        while !self.shutdown {
+            // No timeout: every wakeup is an explicit event — socket
+            // readiness, a worker completion, or shutdown. The loop
+            // never spins.
+            let woken = self
+                .poller
+                .wait(&mut events, None)
+                .map_err(|e| CredError::Io(format!("poll wait: {e}")))?;
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_all();
+                } else {
+                    self.handle_conn_event(ev);
+                }
+                if self.shutdown {
+                    break;
+                }
+            }
+            events = batch;
+            if woken {
+                self.drain_completions();
+            }
+        }
         Ok(())
     }
-}
 
-fn worker_loop(rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: Arc<Shared>) {
-    loop {
-        // Take the next connection; the channel closing means shutdown.
-        let stream = {
-            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
-            guard.recv()
-        };
-        match stream {
-            Ok(stream) => handle_connection(stream, &shared),
-            Err(_) => return,
-        }
-    }
-}
-
-/// Serve one connection until it closes, errs, oversizes a line, or the
-/// server shuts down. Uses manual byte-buffer line splitting: a
-/// `BufReader::read_line` would discard a partial line every time the
-/// read timeout fires, corrupting pipelined requests.
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
-        return;
-    }
-    let _ = stream.set_nodelay(true);
-    let mut buf: Vec<u8> = Vec::with_capacity(4096);
-    let mut chunk = [0u8; 4096];
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                // One arrival stamp per read, shared by every line drained
-                // from it: a pipelined line must not have its deadline
-                // clock start only after its predecessors were handled.
-                let arrival = Instant::now();
-                // Drain every complete line currently buffered.
-                while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
-                    let line: Vec<u8> = buf.drain(..=nl).collect();
-                    let text = String::from_utf8_lossy(&line[..nl]);
-                    let trimmed = text.trim();
-                    if trimmed.is_empty() {
+    fn accept_all(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
-                    let (response, shutdown) = handle_line(trimmed, arrival, shared);
-                    if stream.write_all(response.as_bytes()).is_err()
-                        || stream.write_all(b"\n").is_err()
-                        || stream.flush().is_err()
-                    {
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let interest = Interest::READ;
+                    if self.poller.register(fd, token, interest).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            fd,
+                            rbuf: Vec::new(),
+                            wbuf: Vec::new(),
+                            wpos: 0,
+                            next_seq: 0,
+                            next_flush: 0,
+                            done: BTreeMap::new(),
+                            outstanding: 0,
+                            read_closed: false,
+                            paused: false,
+                            dead: false,
+                            interest,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transient per-connection accept failures (e.g. the
+                // peer already reset): try again on the next event.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn handle_conn_event(&mut self, ev: &Event) {
+        if !self.conns.contains_key(&ev.token) {
+            return;
+        }
+        if ev.readable || ev.hangup {
+            self.read_conn(ev.token);
+        }
+        self.update_conn(ev.token);
+    }
+
+    /// Pull bytes (up to a fairness share) and process every complete
+    /// line they complete.
+    fn read_conn(&mut self, token: u64) {
+        let mut chunk = [0u8; 16 << 10];
+        let mut taken = 0usize;
+        loop {
+            let arrival = Instant::now();
+            let n = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if conn.read_closed || conn.paused || conn.dead || taken >= READ_FAIR_SHARE {
+                    return;
+                }
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        // A trailing partial line (no newline) is
+                        // discarded, as a blocking reader would have.
+                        conn.rbuf.clear();
                         return;
                     }
-                    if shutdown {
-                        shared.shutdown.store(true, Ordering::SeqCst);
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&chunk[..n]);
+                        n
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
                         return;
                     }
                 }
-                if buf.len() > MAX_LINE_BYTES {
-                    let e =
-                        CredError::Protocol(format!("request line exceeds {MAX_LINE_BYTES} bytes"));
-                    Metrics::bump(&shared.metrics.requests);
-                    Metrics::bump(&shared.metrics.errors);
-                    let _ = stream.write_all((error_response(&None, &e) + "\n").as_bytes());
+            };
+            taken += n;
+            // One arrival stamp per read, shared by every line drained
+            // from it: a pipelined line must not have its deadline clock
+            // start only after its predecessors were handled.
+            self.process_lines(token, arrival);
+        }
+    }
+
+    /// Split the read buffer into complete lines and handle each.
+    fn process_lines(&mut self, token: u64, arrival: Instant) {
+        loop {
+            let line: Vec<u8> = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                match conn.rbuf.iter().position(|&b| b == b'\n') {
+                    Some(nl) => {
+                        let line = conn.rbuf.drain(..=nl).collect();
+                        line
+                    }
+                    None => {
+                        if conn.rbuf.len() > MAX_LINE_BYTES {
+                            // Protocol-fatal: answer with a typed error,
+                            // then close once everything already queued
+                            // has flushed.
+                            let e = CredError::Protocol(format!(
+                                "request line exceeds {MAX_LINE_BYTES} bytes"
+                            ));
+                            Metrics::bump(&self.shared.metrics.requests);
+                            Metrics::bump(&self.shared.metrics.errors);
+                            let seq = conn.next_seq;
+                            conn.next_seq += 1;
+                            conn.done.insert(seq, error_response(&None, &e));
+                            conn.read_closed = true;
+                            conn.rbuf = Vec::new();
+                        }
+                        return;
+                    }
+                }
+            };
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+            let trimmed = text.trim();
+            if !trimmed.is_empty() {
+                self.handle_line(token, trimmed, arrival);
+                if self.shutdown {
                     return;
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut
-                    || e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return,
+        }
+    }
+
+    /// Handle one request line: cheap requests inline, explores to the
+    /// pool (or shed). The response — when already known — is enqueued
+    /// at this request's ticket so pipelined responses stay in order.
+    fn handle_line(&mut self, token: u64, line: &str, arrival: Instant) {
+        let shared = Arc::clone(&self.shared);
+        Metrics::bump(&shared.metrics.requests);
+        let seq = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            seq
+        };
+        let req = match json::parse(line) {
+            Ok(v @ Json::Obj(_)) => v,
+            Ok(_) => {
+                Metrics::bump(&shared.metrics.errors);
+                let e = CredError::Protocol("request must be a JSON object".into());
+                self.finish(token, seq, error_response(&None, &e));
+                return;
+            }
+            Err(msg) => {
+                Metrics::bump(&shared.metrics.errors);
+                let e = CredError::Protocol(format!("bad JSON: {msg}"));
+                self.finish(token, seq, error_response(&None, &e));
+                return;
+            }
+        };
+        let id = req.get("id").map(Json::to_compact);
+        match req.get("type").and_then(Json::as_str) {
+            Some("ping") => {
+                Metrics::bump(&shared.metrics.ok);
+                self.finish(
+                    token,
+                    seq,
+                    format!("{},\"type\":\"pong\"}}", head(true, &id)),
+                );
+            }
+            Some("stats") => {
+                Metrics::bump(&shared.metrics.ok);
+                let snap = shared.stats_snapshot();
+                self.finish(
+                    token,
+                    seq,
+                    format!(
+                        "{},\"type\":\"stats\",\"stats\":{}}}",
+                        head(true, &id),
+                        snap.to_json()
+                    ),
+                );
+            }
+            Some("shutdown") => {
+                Metrics::bump(&shared.metrics.ok);
+                self.finish(
+                    token,
+                    seq,
+                    format!("{},\"type\":\"shutdown\"}}", head(true, &id)),
+                );
+                self.shutdown = true;
+            }
+            Some("explore") => {
+                if self.in_flight >= self.max_in_flight {
+                    // Shed instead of queueing: the deadline clock is
+                    // already running, and admitting more work than the
+                    // pool can start only converts future capacity into
+                    // queue latency.
+                    Metrics::bump(&shared.metrics.errors);
+                    Metrics::bump(&shared.metrics.shed_requests);
+                    let e = CredError::Overloaded {
+                        limit: self.max_in_flight,
+                    };
+                    self.finish(token, seq, error_response(&id, &e));
+                    return;
+                }
+                self.in_flight += 1;
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.outstanding += 1;
+                }
+                // Send can only fail once the pool is gone, which only
+                // happens during teardown; the connection is going away
+                // with it.
+                let _ = self.tx.send(Job {
+                    token,
+                    seq,
+                    req,
+                    id,
+                    arrival,
+                });
+            }
+            Some(other) => {
+                Metrics::bump(&shared.metrics.errors);
+                let e = CredError::Protocol(format!("unknown request type {other:?}"));
+                self.finish(token, seq, error_response(&id, &e));
+            }
+            None => {
+                Metrics::bump(&shared.metrics.errors);
+                let e = CredError::Protocol("missing request type".into());
+                self.finish(token, seq, error_response(&id, &e));
+            }
+        }
+    }
+
+    /// Record a finished response at its ticket.
+    fn finish(&mut self, token: u64, seq: u64, line: String) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.done.insert(seq, line);
+        }
+    }
+
+    /// Route every queued worker completion to its connection and flush.
+    fn drain_completions(&mut self) {
+        let batch: Vec<Completion> = {
+            let mut q = self
+                .completions
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            std::mem::take(&mut *q)
+        };
+        let mut touched: Vec<u64> = Vec::with_capacity(batch.len());
+        for c in batch {
+            self.in_flight -= 1;
+            if let Some(conn) = self.conns.get_mut(&c.token) {
+                conn.outstanding -= 1;
+                conn.done.insert(c.seq, c.line);
+                touched.push(c.token);
+            }
+        }
+        touched.dedup();
+        for token in touched {
+            self.update_conn(token);
+        }
+    }
+
+    /// Advance one connection's output state machine: move in-order
+    /// responses to the write buffer, write greedily, adjust
+    /// backpressure and poller interest, close when finished or dead.
+    fn update_conn(&mut self, token: u64) {
+        let remove = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            flush_ready(conn);
+            if !conn.dead && try_write(conn).is_err() {
+                conn.dead = true;
+            }
+            let unflushed = conn.unflushed();
+            if unflushed > WRITE_HARD_CAP {
+                conn.dead = true;
+            }
+            conn.paused = if conn.paused {
+                unflushed >= WRITE_LOW_WATER
+            } else {
+                unflushed >= WRITE_HIGH_WATER
+            };
+            let finished =
+                conn.read_closed && conn.outstanding == 0 && conn.done.is_empty() && unflushed == 0;
+            if conn.dead || finished {
+                true
+            } else {
+                let want = Interest {
+                    readable: !conn.read_closed && !conn.paused,
+                    writable: unflushed > 0,
+                };
+                if want != conn.interest {
+                    conn.interest = want;
+                    self.poller.reregister(conn.fd, token, want).is_err()
+                } else {
+                    false
+                }
+            }
+        };
+        if remove {
+            self.remove_conn(token);
+        }
+    }
+
+    fn remove_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            // Deregister before the fd closes: the poll(2) backend keeps
+            // a userspace table that would otherwise poll a dead fd.
+            let _ = self.poller.deregister(conn.fd);
+        }
+    }
+
+    /// Wait (bounded) for already-admitted explore requests to complete
+    /// after shutdown; the master cancel token makes them finish fast.
+    /// New socket events are ignored — only completions are drained.
+    fn drain_in_flight(&mut self, limit: Duration) {
+        let deadline = Instant::now() + limit;
+        let mut events: Vec<Event> = Vec::new();
+        while self.in_flight > 0 && Instant::now() < deadline {
+            match self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+            {
+                Ok(true) => self.drain_completions(),
+                Ok(false) => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Best-effort flush of every connection's remaining output (the
+    /// shutdown response, mostly), bounded in time.
+    fn final_flush(&mut self, limit: Duration) {
+        let deadline = Instant::now() + limit;
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            while let Some(conn) = self.conns.get_mut(&token) {
+                flush_ready(conn);
+                if conn.unflushed() == 0 || try_write(conn).is_err() {
+                    break;
+                }
+                if conn.unflushed() == 0 || Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
         }
     }
 }
 
-/// Handle one request line. Returns the response (no trailing newline)
-/// and whether the server should shut down after sending it.
-fn handle_line(line: &str, arrival: Instant, shared: &Shared) -> (String, bool) {
-    Metrics::bump(&shared.metrics.requests);
-    let req = match json::parse(line) {
-        Ok(v @ Json::Obj(_)) => v,
-        Ok(_) => {
+/// Move every response whose turn has come into the write buffer.
+fn flush_ready(conn: &mut Conn) {
+    while let Some(line) = conn.done.remove(&conn.next_flush) {
+        conn.wbuf.extend_from_slice(line.as_bytes());
+        conn.wbuf.push(b'\n');
+        conn.next_flush += 1;
+    }
+}
+
+/// Write as much buffered output as the socket accepts right now.
+fn try_write(conn: &mut Conn) -> std::io::Result<()> {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    } else if conn.wpos > (64 << 10) {
+        conn.wbuf.drain(..conn.wpos);
+        conn.wpos = 0;
+    }
+    Ok(())
+}
+
+/// A compute worker: take explore jobs, evaluate, push the rendered
+/// response line, wake the loop. Never touches a socket.
+fn worker_loop(
+    rx: Arc<Mutex<mpsc::Receiver<Job>>>,
+    shared: Arc<Shared>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    waker: Waker,
+) {
+    loop {
+        // Take the next job; the channel closing means shutdown.
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard.recv()
+        };
+        let Ok(job) = job else { return };
+        // A panicking solve must still produce a completion: the loop's
+        // in-flight accounting (and the client) both wait for it.
+        let line = catch_unwind(AssertUnwindSafe(|| {
+            explore_line(&job.req, &job.id, job.arrival, &shared)
+        }))
+        .unwrap_or_else(|_| {
             Metrics::bump(&shared.metrics.errors);
-            let e = CredError::Protocol("request must be a JSON object".into());
-            return (error_response(&None, &e), false);
-        }
-        Err(msg) => {
-            Metrics::bump(&shared.metrics.errors);
-            let e = CredError::Protocol(format!("bad JSON: {msg}"));
-            return (error_response(&None, &e), false);
-        }
-    };
-    let id = req.get("id").map(Json::to_compact);
-    let outcome = match req.get("type").and_then(Json::as_str) {
-        Some("ping") => Ok(format!("{},\"type\":\"pong\"}}", head(true, &id))),
-        Some("stats") => {
-            let snap = shared.metrics.snapshot(CacheStats::of(&shared.cache));
-            Ok(format!(
-                "{},\"type\":\"stats\",\"stats\":{}}}",
-                head(true, &id),
-                snap.to_json()
-            ))
-        }
-        Some("shutdown") => {
-            let resp = format!("{},\"type\":\"shutdown\"}}", head(true, &id));
-            Metrics::bump(&shared.metrics.ok);
-            return (resp, true);
-        }
-        Some("explore") => handle_explore(&req, &id, arrival, shared),
-        Some(other) => Err(CredError::Protocol(format!(
-            "unknown request type {other:?}"
-        ))),
-        None => Err(CredError::Protocol("missing request type".into())),
-    };
-    match outcome {
+            error_response(&job.id, &CredError::Solve("internal error".into()))
+        });
+        completions
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(Completion {
+                token: job.token,
+                seq: job.seq,
+                line,
+            });
+        waker.wake();
+    }
+}
+
+/// Evaluate one explore request and render its response line, keeping
+/// the ok/error counters.
+fn explore_line(req: &Json, id: &Option<String>, arrival: Instant, shared: &Shared) -> String {
+    match handle_explore(req, id, arrival, shared) {
         Ok(resp) => {
             Metrics::bump(&shared.metrics.ok);
-            (resp, false)
+            resp
         }
         Err(e) => {
             Metrics::bump(&shared.metrics.errors);
             if matches!(e, CredError::BudgetExhausted(_)) {
                 Metrics::bump(&shared.metrics.budget_exhaustions);
             }
-            (error_response(&id, &e), false)
+            error_response(id, &e)
         }
     }
 }

@@ -325,6 +325,76 @@ fn shutdown_dumps_metrics_when_asked() {
 }
 
 #[test]
+fn shutdown_with_idle_connections_open_is_prompt() {
+    let server = TestServer::spawn(|_| {});
+    // Idle connections must not delay shutdown: the event loop is woken
+    // explicitly, it never sits in a read-timeout poll cycle.
+    let idle: Vec<Client> = (0..8).map(|_| server.connect()).collect();
+    let start = std::time::Instant::now();
+    server.shutdown();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(100),
+        "shutdown with idle connections took {elapsed:?}"
+    );
+    drop(idle);
+}
+
+#[test]
+fn overload_sheds_with_a_typed_overloaded_error() {
+    let server = TestServer::spawn(|c| {
+        c.workers = 1;
+        c.max_in_flight = 1;
+    });
+    let mut slow = server.connect();
+    // Occupy the single admission slot with a deliberately held flight.
+    slow.send("{\"type\":\"explore\",\"kernel\":\"figure3\",\"max_f\":2,\"n\":31,\"debug_delay_ms\":800,\"id\":\"slow\"}");
+    std::thread::sleep(Duration::from_millis(200));
+    // The next explore must be shed immediately, not queued behind it.
+    let mut shed = server.connect();
+    let start = std::time::Instant::now();
+    let resp = shed.request(
+        "{\"type\":\"explore\",\"kernel\":\"figure3\",\"max_f\":2,\"n\":31,\"id\":\"shed\"}",
+    );
+    assert!(
+        start.elapsed() < Duration::from_millis(500),
+        "shed response must not wait for the slow flight"
+    );
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    assert!(resp.contains("\"code\":\"overloaded\""), "{resp}");
+    assert!(resp.contains("\"id\":\"shed\""), "{resp}");
+    // Non-explore requests are never shed: the loop answers them inline.
+    let pong = shed.request("{\"type\":\"ping\"}");
+    assert!(pong.contains("\"ok\":true"), "{pong}");
+    // The admitted request still completes normally.
+    let slow_resp = slow.recv();
+    assert!(slow_resp.contains("\"ok\":true"), "{slow_resp}");
+    assert!(slow_resp.contains("\"id\":\"slow\""), "{slow_resp}");
+    let stats = server.request("{\"type\":\"stats\"}");
+    assert!(stats.contains("\"shed_requests\":1"), "{stats}");
+    server.shutdown();
+}
+
+#[test]
+fn poll_fallback_backend_serves_the_same_protocol() {
+    let server = TestServer::spawn(|c| {
+        c.force_poll_backend = true;
+    });
+    let resp = server.request("{\"type\":\"ping\",\"id\":\"poll\"}");
+    assert!(resp.contains("\"type\":\"pong\""), "{resp}");
+    assert!(resp.contains("\"id\":\"poll\""), "{resp}");
+    let resp = server.request("{\"type\":\"explore\",\"kernel\":\"figure3\",\"max_f\":3,\"n\":61}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains(&expected_points("figure3", 3, 61)), "{resp}");
+    // Pipelining works on the fallback too, in order.
+    let mut client = server.connect();
+    client.send("{\"type\":\"ping\",\"id\":1}\n{\"type\":\"ping\",\"id\":2}");
+    assert!(client.recv().contains("\"id\":1"));
+    assert!(client.recv().contains("\"id\":2"));
+    server.shutdown();
+}
+
+#[test]
 fn missing_kernels_dir_fails_bind_with_io_error() {
     let err = cred_service::Server::bind(cred_service::ServiceConfig {
         addr: "127.0.0.1:0".to_string(),
