@@ -5,6 +5,7 @@
 //! credc reduce   <file.loop> [options]            generate + verify + print
 //! credc explore  <file.loop|dir> [options]        design-space exploration
 //! credc schedule <file.loop> [--alu N] [--mul N]  rotation scheduling
+//! credc exact    <file.loop> [--machine M]        exact modulo scheduling
 //! credc verify   [options]                        differential fuzzing
 //! credc chaos    [options]                        fault-injection replay
 //! credc serve    [options]                        evaluation server
@@ -27,9 +28,17 @@
 //!   --strict        exit 2 when any point degraded
 //!   --degraded-ok   exit 0 on degradations (mutually exclusive with
 //!                   --strict); either way degradations are printed
+//! Options for `exact` (prove the minimum initiation interval under
+//! resource constraints; see DESIGN.md "Exact scheduling"):
+//!   --machine M     builtin model name (unconstrained | scalar | vliw2 |
+//!                   vliw4) or a path to a `.mach` machine file
+//!                   (default unconstrained)
 //! Options for `verify` (see `cred-verify`; exit code 1 on any mismatch):
 //!   --cases N       random cases to draw (default 200)
 //!   --seed S        seed of the deterministic case stream (default 0)
+//!   --machine M     pin every fuzz case to this machine model (builtin
+//!                   name or `.mach` path) instead of sampling one per
+//!                   case
 //!   --shrink        minimize each failure before reporting it
 //!   --corpus DIR    replay DIR/*.case first; with --shrink, save new
 //!                   shrunk failures there
@@ -389,6 +398,59 @@ fn cmd_schedule(g: &Dfg, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolve a `--machine` argument: a builtin model name, or a path to a
+/// `.mach` machine-description file.
+fn resolve_machine(spec: &str) -> Result<cred_exact::MachineModel, String> {
+    if let Some(m) = cred_exact::MachineModel::builtin(spec) {
+        return Ok(m);
+    }
+    let path = std::path::Path::new(spec);
+    if !path.exists() {
+        return Err(format!(
+            "--machine: '{spec}' is neither a builtin model ({}) nor a readable file",
+            cred_exact::MachineModel::BUILTIN_NAMES.join(" | ")
+        ));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{spec}: {e}"))?;
+    cred_exact::MachineModel::parse(&text).map_err(|e| format!("{spec}: {e}"))
+}
+
+/// `credc exact`: prove the kernel's minimum initiation interval on a
+/// machine model and show the schedule plus the per-rung infeasibility
+/// witnesses that certify optimality.
+fn cmd_exact(g: &Dfg, args: &Args) -> Result<(), String> {
+    let machine = resolve_machine(args.get("machine").unwrap_or("unconstrained"))?;
+    let lower = cred_retime::min_period_retiming(g).period;
+    let sched = cred_exact::exact_schedule(g, &machine);
+    cred_exact::check::check_schedule(g, &machine, &sched)
+        .map_err(|e| format!("schedule failed independent validation: {e}"))?;
+    println!("machine: {}", machine.name);
+    println!("retiming-only period (resource-blind lower bound): {lower}");
+    println!("proven minimum initiation interval: {}", sched.ii);
+    println!(
+        "\n{:>12} {:>6} {:>6} {:>6}",
+        "node", "stage", "slot", "time"
+    );
+    for v in g.node_ids() {
+        println!(
+            "{:>12} {:>6} {:>6} {:>6}",
+            g.node(v).name,
+            sched.stage[v.index()],
+            sched.slot[v.index()],
+            machine.op_time(g, v)
+        );
+    }
+    if sched.rejected.is_empty() {
+        println!("\nII 1 is feasible; no smaller interval exists.");
+    } else {
+        println!("\ninfeasibility certificates for every smaller interval:");
+        for rung in &sched.rejected {
+            println!("  II {}: {}", rung.ii, rung.witness);
+        }
+    }
+    Ok(())
+}
+
 /// `credc verify`: replay the committed corpus, then fuzz the full
 /// transformation pipeline against the VM and the closed-form size
 /// theorems. Any mismatch is a nonzero exit.
@@ -401,6 +463,7 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
         "tree" => cred_verify::Executor::Tree,
         other => return Err(format!("--executor: 'tape' or 'tree', not '{other}'")),
     };
+    let machine = args.get("machine").map(resolve_machine).transpose()?;
 
     let mut failures = 0usize;
     if let Some(dir) = &corpus_dir {
@@ -424,7 +487,10 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     let report = cred_verify::fuzz_suite(&cred_verify::FuzzConfig {
         cases,
         seed,
-        case: cred_verify::CaseConfig::default(),
+        case: cred_verify::CaseConfig {
+            machine,
+            ..cred_verify::CaseConfig::default()
+        },
         shrink_failures: args.has("shrink"),
         executor,
     });
@@ -555,7 +621,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         return fail(
-            "usage: credc <analyze|reduce|explore|schedule|verify|chaos|serve> <file.loop> [options]",
+            "usage: credc <analyze|reduce|explore|schedule|exact|verify|chaos|serve> <file.loop> [options]",
         );
     };
     // `verify`, `chaos`, and `serve` take options but no input file.
@@ -592,6 +658,7 @@ fn main() -> ExitCode {
         "reduce" => cmd_reduce(g, &args).map(|()| ExitCode::SUCCESS),
         "explore" => cmd_explore(path, &g, &args),
         "schedule" => cmd_schedule(&g, &args).map(|()| ExitCode::SUCCESS),
+        "exact" => cmd_exact(&g, &args).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown command '{other}'")),
     };
     match result {

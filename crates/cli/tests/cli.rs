@@ -40,6 +40,47 @@ fn credc_binary_runs() {
     assert!(!out.status.success());
 }
 
+#[test]
+fn credc_exact_proves_ii_and_reads_machine_files() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let kernel = format!("{root}/kernels/biquad.loop");
+    // Builtin model by name.
+    let out = run(&["exact", &kernel, "--machine", "scalar"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("proven minimum initiation interval: 8"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("II 1: resource-cap"), "{stdout}");
+    // Committed machine file by path; the II comes out identical to the
+    // same model's builtin.
+    let out = run(&["exact", &kernel, "--machine", &format!("{root}/machines/scalar.mach")]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("proven minimum initiation interval: 8"),
+        "machine file drifted from builtin"
+    );
+    // Default is the unconstrained model: II equals the retiming bound.
+    let out = run(&["exact", &kernel]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lower bound): 3"), "{stdout}");
+    assert!(
+        stdout.contains("proven minimum initiation interval: 3"),
+        "{stdout}"
+    );
+    // Unknown model name fails with a one-line typed diagnostic.
+    assert_clean_failure(&run(&["exact", &kernel, "--machine", "dsp56k"]), "dsp56k");
+}
+
+#[test]
+fn credc_verify_pins_machine_models() {
+    let out = run(&["verify", "--cases", "25", "--machine", "vliw2"]);
+    assert!(out.status.success(), "{out:?}");
+    assert_clean_failure(&run(&["verify", "--cases", "1", "--machine", "nope"]), "nope");
+}
+
 fn run(args: &[&str]) -> std::process::Output {
     std::process::Command::new(env!("CARGO_BIN_EXE_credc"))
         .args(args)
@@ -163,7 +204,7 @@ fn serve_subcommand_runs_and_shuts_down_cleanly() {
     };
     let resp = request("{\"type\":\"explore\",\"kernel\":\"figure3\",\"max_f\":2,\"n\":31}");
     assert!(resp.contains("\"ok\":true"), "{resp}");
-    assert!(resp.contains("\"schema_version\":1"), "{resp}");
+    assert!(resp.contains("\"schema_version\":2"), "{resp}");
     let resp = request("{\"type\":\"shutdown\"}");
     assert!(resp.contains("\"ok\":true"), "{resp}");
 

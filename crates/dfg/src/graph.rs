@@ -131,6 +131,73 @@ impl OpKind {
             OpKind::Input(_) => "inp",
         }
     }
+
+    /// The functional-unit class executing this operation — the resource
+    /// axis machine models constrain (per-class slot counts in
+    /// `cred-exact`'s `MachineModel`, FU counts in `cred-schedule`).
+    #[inline]
+    pub fn class(self) -> OpClass {
+        match self {
+            OpKind::Add(_) | OpKind::Sub(_) | OpKind::Input(_) => OpClass::Alu,
+            OpKind::Mul(_) | OpKind::Mac(_) | OpKind::Scale(..) | OpKind::ScaledMul(..) => {
+                OpClass::Mac
+            }
+        }
+    }
+}
+
+/// Functional-unit class of an [`OpKind`] — a simplification of a DSP
+/// datapath (e.g. the TMS320C6000) split into arithmetic/logic units and
+/// multiply-accumulate units. This is the unit machine descriptions
+/// allocate: an op occupies one slot of its class for its whole
+/// computation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Adders/ALUs — `Add`, `Sub`, `Input` (and the predicate bookkeeping
+    /// instructions CRED inserts).
+    Alu,
+    /// Multiply-accumulate units — `Mul`, `Mac`, `Scale`, `ScaledMul`.
+    Mac,
+}
+
+/// Number of op classes (for dense, class-indexed tables).
+pub const OP_CLASSES: usize = 2;
+
+impl OpClass {
+    /// Every class, in [`OpClass::index`] order.
+    pub const ALL: [OpClass; OP_CLASSES] = [OpClass::Alu, OpClass::Mac];
+
+    /// Dense index for class-indexed tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Alu => 0,
+            OpClass::Mac => 1,
+        }
+    }
+
+    /// Lower-case name used by machine-description files.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Alu => "alu",
+            OpClass::Mac => "mac",
+        }
+    }
+
+    /// Inverse of [`OpClass::name`].
+    pub fn parse(s: &str) -> Option<OpClass> {
+        match s {
+            "alu" => Some(OpClass::Alu),
+            "mac" => Some(OpClass::Mac),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Payload of a node: a display name, a computation time (in time units,
@@ -568,6 +635,26 @@ mod tests {
         assert_eq!(OpKind::Mac(1).eval(&[3, 4, 5], 0), 18);
         assert_eq!(OpKind::Mac(1).eval(&[3], 0), 4);
         assert_eq!(OpKind::Input(5).eval(&[99], 2), 5 + 62);
+    }
+
+    #[test]
+    fn op_class_partition() {
+        assert_eq!(OpKind::Add(0).class(), OpClass::Alu);
+        assert_eq!(OpKind::Sub(0).class(), OpClass::Alu);
+        assert_eq!(OpKind::Input(0).class(), OpClass::Alu);
+        assert_eq!(OpKind::Mul(0).class(), OpClass::Mac);
+        assert_eq!(OpKind::Mac(0).class(), OpClass::Mac);
+        assert_eq!(OpKind::Scale(1, 0).class(), OpClass::Mac);
+        assert_eq!(OpKind::ScaledMul(1, 0).class(), OpClass::Mac);
+    }
+
+    #[test]
+    fn op_class_names_round_trip() {
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(OpClass::parse(c.name()), Some(*c));
+        }
+        assert_eq!(OpClass::parse("fpu"), None);
     }
 
     #[test]

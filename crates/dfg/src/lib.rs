@@ -36,5 +36,7 @@ pub mod gen;
 mod graph;
 mod ratio;
 
-pub use graph::{Dfg, DfgBuilder, DfgError, EdgeData, EdgeId, NodeData, NodeId, OpKind};
+pub use graph::{
+    Dfg, DfgBuilder, DfgError, EdgeData, EdgeId, NodeData, NodeId, OpClass, OpKind, OP_CLASSES,
+};
 pub use ratio::Ratio;

@@ -1,0 +1,272 @@
+//! Independent validation of schedules and infeasibility witnesses.
+//!
+//! Everything here is written straight from the definitions in the
+//! [`solver`](crate::solver) docs — no shared code with the search, no
+//! reservation tables, no difference engine — so `cred-verify` can use
+//! it as the fifth oracle layer without inheriting solver bugs (the
+//! mutation tests depend on this independence).
+
+use cred_dfg::{Dfg, EdgeId, NodeId, OpClass, OP_CLASSES};
+
+use crate::machine::MachineModel;
+use crate::solver::{ExactSchedule, Infeasible, RejectedII};
+
+/// Check that `sched` is a legal schedule of `g` on `m`: window bounds,
+/// per-class and issue-width resource limits, and every dependence.
+/// Returns a human-readable description of the first violation.
+pub fn check_schedule(g: &Dfg, m: &MachineModel, sched: &ExactSchedule) -> Result<(), String> {
+    let n = g.node_count();
+    let ii = sched.ii;
+    if ii < 1 {
+        return Err("ii must be at least 1".into());
+    }
+    if sched.slot.len() != n || sched.stage.len() != n {
+        return Err(format!(
+            "schedule covers {} slots / {} stages for {n} nodes",
+            sched.slot.len(),
+            sched.stage.len()
+        ));
+    }
+    // Window bounds.
+    for v in g.node_ids() {
+        let t = m.op_time(g, v) as u64;
+        let s = sched.slot[v.index()] as u64;
+        if s + t > ii {
+            return Err(format!(
+                "node {v} at slot {s} with time {t} overflows the II window {ii}"
+            ));
+        }
+    }
+    // Resources, rebuilt from scratch.
+    let mut occ = vec![0u32; OP_CLASSES * ii as usize];
+    let mut issue = vec![0u32; ii as usize];
+    for v in g.node_ids() {
+        let ci = g.node(v).op.class().index();
+        let s = sched.slot[v.index()] as usize;
+        for q in s..s + m.op_time(g, v) as usize {
+            occ[ci * ii as usize + q] += 1;
+        }
+        issue[s] += 1;
+    }
+    for class in OpClass::ALL {
+        if let Some(units) = m.units(class) {
+            for s in 0..ii as usize {
+                let used = occ[class.index() * ii as usize + s];
+                if used > units {
+                    return Err(format!(
+                        "slot {s} runs {used} {class} ops on {units} units"
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(width) = m.issue_width {
+        for (s, &used) in issue.iter().enumerate() {
+            if used > width {
+                return Err(format!(
+                    "slot {s} issues {used} ops on width {width}"
+                ));
+            }
+        }
+    }
+    // Dependences: sigma(v) >= sigma(u) + t(u) - ii * d(e).
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        let su = sched.sigma(ed.src);
+        let sv = sched.sigma(ed.dst);
+        let t = m.op_time(g, ed.src) as i64;
+        if sv < su + t - ii as i64 * ed.delay as i64 {
+            return Err(format!(
+                "edge {e} ({} -> {}) violated: sigma {sv} < {su} + {t} - {ii} * {}",
+                ed.src, ed.dst, ed.delay
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Check one rejected rung's certificate arithmetically. Closed-form
+/// witnesses are fully re-derived from the graph and machine; an
+/// [`Infeasible::Exhausted`] witness is certificate-by-search and only
+/// its plausibility (at least one trial) is checkable.
+pub fn check_witness(g: &Dfg, m: &MachineModel, rejected: &RejectedII) -> Result<(), String> {
+    let ii = rejected.ii;
+    match &rejected.witness {
+        Infeasible::OpExceedsWindow { node, time } => {
+            let v = NodeId(*node);
+            if *node as usize >= g.node_count() {
+                return Err(format!("witness node n{node} out of range"));
+            }
+            if m.op_time(g, v) != *time {
+                return Err(format!(
+                    "witness time {time} != machine time {} of {v}",
+                    m.op_time(g, v)
+                ));
+            }
+            if u64::from(*time) <= ii {
+                return Err(format!("time {time} fits the II window {ii}"));
+            }
+            Ok(())
+        }
+        Infeasible::ResourceCap {
+            class,
+            occupancy,
+            units,
+        } => {
+            if m.units(*class) != Some(*units) {
+                return Err(format!("machine has {:?} {class} units", m.units(*class)));
+            }
+            let actual: u64 = g
+                .node_ids()
+                .filter(|&v| g.node(v).op.class() == *class)
+                .map(|v| m.op_time(g, v) as u64)
+                .sum();
+            if actual != *occupancy {
+                return Err(format!(
+                    "witness occupancy {occupancy} != actual {actual} for {class}"
+                ));
+            }
+            if *occupancy <= ii * u64::from(*units) {
+                return Err(format!(
+                    "occupancy {occupancy} fits {ii} cycles of {units} {class} units"
+                ));
+            }
+            Ok(())
+        }
+        Infeasible::IssueWidth { ops, width } => {
+            if m.issue_width != Some(*width) {
+                return Err(format!("machine issue width is {:?}", m.issue_width));
+            }
+            if *ops != g.node_count() as u64 {
+                return Err(format!("witness ops {ops} != {} nodes", g.node_count()));
+            }
+            if *ops <= ii * u64::from(*width) {
+                return Err(format!("{ops} ops fit {ii} cycles of width {width}"));
+            }
+            Ok(())
+        }
+        Infeasible::CriticalCycle {
+            edges,
+            total_time,
+            total_delay,
+        } => {
+            if edges.is_empty() {
+                return Err("empty critical cycle".into());
+            }
+            let mut time = 0u64;
+            let mut delay = 0u64;
+            for (i, &e) in edges.iter().enumerate() {
+                if e as usize >= g.edge_count() {
+                    return Err(format!("witness edge e{e} out of range"));
+                }
+                let ed = g.edge(EdgeId(e));
+                let next = g.edge(EdgeId(edges[(i + 1) % edges.len()]));
+                if ed.dst != next.src {
+                    return Err(format!(
+                        "cycle broken: e{e} ends at {} but the next edge starts at {}",
+                        ed.dst, next.src
+                    ));
+                }
+                time += m.op_time(g, ed.src) as u64;
+                delay += ed.delay as u64;
+            }
+            if time != *total_time || delay != *total_delay {
+                return Err(format!(
+                    "witness sums ({total_time}, {total_delay}) != actual ({time}, {delay})"
+                ));
+            }
+            if *total_time <= ii * *total_delay {
+                return Err(format!(
+                    "cycle time {total_time} fits {ii} * {total_delay} delays"
+                ));
+            }
+            Ok(())
+        }
+        Infeasible::Exhausted { branches } => {
+            if *branches == 0 {
+                return Err("exhausted search performed no trials".into());
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::exact_schedule;
+    use cred_dfg::{DfgBuilder, OpKind};
+
+    fn two_node() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let a = b.node("A", 1, OpKind::Add(1));
+        let bb = b.node("B", 1, OpKind::Mul(2));
+        b.edge(a, bb, 0);
+        b.edge(bb, a, 2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn checker_rejects_tampered_schedules() {
+        let g = two_node();
+        let m = MachineModel::builtin("scalar").unwrap();
+        let good = exact_schedule(&g, &m);
+        check_schedule(&g, &m, &good).unwrap();
+
+        // Same slot for both ops: issue width 1 violated.
+        let mut bad = good.clone();
+        bad.slot = vec![0, 0];
+        assert!(check_schedule(&g, &m, &bad).is_err());
+
+        // Slot past the window.
+        let mut bad = good.clone();
+        bad.slot[0] = bad.ii as u32;
+        assert!(check_schedule(&g, &m, &bad).is_err());
+
+        // Stage tampering that breaks the zero-delay dependence.
+        let mut bad = good.clone();
+        bad.stage[1] -= 1;
+        assert!(check_schedule(&g, &m, &bad).is_err());
+    }
+
+    #[test]
+    fn checker_rejects_tampered_witnesses() {
+        let g = two_node();
+        let m = MachineModel::builtin("scalar").unwrap();
+        let s = exact_schedule(&g, &m);
+        let good = &s.rejected[0];
+        check_witness(&g, &m, good).unwrap();
+
+        // Claiming the same witness one rung higher must fail (2 ops fit
+        // two cycles of width 1).
+        let mut bad = good.clone();
+        bad.ii = 2;
+        assert!(check_witness(&g, &m, &bad).is_err());
+
+        // Lying about the machine.
+        let wrong = MachineModel::builtin("vliw4").unwrap();
+        assert!(check_witness(&g, &wrong, good).is_err());
+
+        // A fabricated critical cycle with wrong sums.
+        let bad = RejectedII {
+            ii: 1,
+            witness: Infeasible::CriticalCycle {
+                edges: vec![0, 1],
+                total_time: 99,
+                total_delay: 2,
+            },
+        };
+        assert!(check_witness(&g, &m, &bad).is_err());
+        // The honest version of that cycle: time 2, delay 2, which fits
+        // II = 1, so it is not a certificate either.
+        let honest = RejectedII {
+            ii: 1,
+            witness: Infeasible::CriticalCycle {
+                edges: vec![0, 1],
+                total_time: 2,
+                total_delay: 2,
+            },
+        };
+        assert!(check_witness(&g, &m, &honest).is_err());
+    }
+}

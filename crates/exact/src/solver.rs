@@ -1,0 +1,716 @@
+//! The branch-and-bound exact scheduler and its optimality certificates.
+//!
+//! ## Problem
+//!
+//! Find the smallest initiation interval `II` for which the kernel admits
+//! a *no-wrap* modulo schedule `sigma(v) = stage(v) * II + slot(v)` on
+//! the given [`MachineModel`]:
+//!
+//! * **window** — `0 <= slot(v)` and `slot(v) + t(v) <= II` (every op
+//!   runs inside one II window; `t` is the machine-effective time),
+//! * **dependences** — for every edge `e(u -> v)` with `d(e)` delays,
+//!   `sigma(v) >= sigma(u) + t(u) - II * d(e)`,
+//! * **resources** — at most `units(c)` ops of class `c` in flight in
+//!   any cycle (an op occupies one unit of its class for slots
+//!   `slot(v) .. slot(v) + t(v)`), and at most `issue_width` ops with
+//!   the same `slot` (one VLIW word issues per cycle).
+//!
+//! On the unconstrained machine the no-wrap model is *equivalent* to
+//! retiming: a retiming with period `<= c` yields a no-wrap schedule at
+//! `II = c` (take `stage = -r`, `slot =` ASAP start in the retimed
+//! graph), and conversely `stage(v) = floor(sigma(v) / II)` turns any
+//! no-wrap schedule into a legal retiming with period `<= II` (for an
+//! edge, `II * d_r(e) >= slot(u) + t(u) - slot(v) > -II` forces
+//! `d_r(e) >= 0`, and `d_r(e) = 0` forces `slot(v) >= slot(u) + t(u)`).
+//! Hence the minimal `II` here equals `RetimeSolver::min_period` exactly
+//! — the headline differential-test invariant.
+//!
+//! ## Search
+//!
+//! The solver walks the II ladder from 1 upward. Each rung is first
+//! screened by arithmetic bounds (window, per-class occupancy, issue
+//! width — each rejection is a closed-form [`Infeasible`] witness), then
+//! searched exhaustively: branch on `slot(v)` per node (on-cycle nodes
+//! first), check the modulo reservation table incrementally, and assert
+//! the induced stage constraint `stage(v) - stage(u) >= q(e) - d(e)`
+//! (where `q(e) = 1` iff `slot(v) < slot(u) + t(u)`, the exact value of
+//! `ceil((slot(u) + t(u) - slot(v)) / II)` under the window bounds) into
+//! a [`DiffEngine`] — DPLL-style propagation with trail rollback on
+//! backtrack. A conflict returns a positive stage-constraint cycle; if
+//! the underlying dependence cycle already proves `total_time > II *
+//! total_delay`, the whole rung is rejected with a [checkable
+//! certificate](Infeasible::CriticalCycle) without finishing the search.
+//! The ladder terminates: `II = sum_v t(v)` always admits the sequential
+//! schedule (distinct slots in zero-delay topological order).
+//!
+//! Branch-and-bound work charges the [`Budget`] one unit per slot trial
+//! and passes the `exact.branch` fail-point, so exhaustion and chaos
+//! testing compose the same way as in the retiming solver.
+
+use cred_dfg::{algo, Dfg, NodeId, OpClass, OP_CLASSES};
+use cred_resilience::failpoint::{self, sites};
+use cred_resilience::{Budget, Exhausted};
+use cred_retime::diff::DiffEngine;
+use cred_retime::Retiming;
+use std::fmt;
+
+use crate::machine::MachineModel;
+
+/// Why one rung of the II ladder admits no schedule. Every variant is a
+/// certificate: the first four are closed-form arithmetic facts
+/// re-checkable without running the solver (see
+/// [`check_witness`](crate::check::check_witness)), the last records
+/// that a complete search exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Infeasible {
+    /// Node `node`'s machine-effective time exceeds the II window:
+    /// `time > ii`.
+    OpExceedsWindow {
+        /// Node index.
+        node: u32,
+        /// Machine-effective computation time of that node.
+        time: u32,
+    },
+    /// Class `class` needs more unit-cycles per iteration than the
+    /// machine has: `occupancy > ii * units`.
+    ResourceCap {
+        /// The oversubscribed class.
+        class: OpClass,
+        /// `sum` of machine-effective times over ops of the class.
+        occupancy: u64,
+        /// Units of the class per cycle.
+        units: u32,
+    },
+    /// More ops than issue slots: `ops > ii * width`.
+    IssueWidth {
+        /// Total op count.
+        ops: u64,
+        /// VLIW issue width.
+        width: u32,
+    },
+    /// A dependence cycle (as graph edge ids, consecutive and closing)
+    /// needs more time than its delays buy: `total_time > ii *
+    /// total_delay`, where `total_time` sums the machine-effective time
+    /// of each edge's source.
+    CriticalCycle {
+        /// Edge ids forming the closed walk.
+        edges: Vec<u32>,
+        /// Sum of source-node times along the walk.
+        total_time: u64,
+        /// Sum of edge delays along the walk.
+        total_delay: u64,
+    },
+    /// The branch-and-bound search visited the entire slot space and
+    /// found no schedule (certificate by exhaustion).
+    Exhausted {
+        /// Slot trials performed on this rung.
+        branches: u64,
+    },
+}
+
+impl fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Infeasible::OpExceedsWindow { node, time } => {
+                write!(f, "op-window n{node} time {time}")
+            }
+            Infeasible::ResourceCap {
+                class,
+                occupancy,
+                units,
+            } => write!(f, "resource-cap {class} occupancy {occupancy} units {units}"),
+            Infeasible::IssueWidth { ops, width } => {
+                write!(f, "issue-width ops {ops} width {width}")
+            }
+            Infeasible::CriticalCycle {
+                edges,
+                total_time,
+                total_delay,
+            } => {
+                write!(f, "critical-cycle edges ")?;
+                for (i, e) in edges.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "e{e}")?;
+                }
+                write!(f, " time {total_time} delay {total_delay}")
+            }
+            Infeasible::Exhausted { branches } => {
+                write!(f, "exhausted after {branches} branches")
+            }
+        }
+    }
+}
+
+/// One rejected rung of the II ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectedII {
+    /// The initiation interval that was proven infeasible.
+    pub ii: u64,
+    /// The certificate.
+    pub witness: Infeasible,
+}
+
+/// The product of the exact scheduler: the minimal-II schedule plus the
+/// proof of minimality (one witness per rejected rung below `ii`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactSchedule {
+    /// The achieved (minimal) initiation interval.
+    pub ii: u64,
+    /// Issue slot per node, `0 <= slot(v) <= ii - t(v)`.
+    pub slot: Vec<u32>,
+    /// Pipeline stage per node (the difference-constraint solution).
+    pub stage: Vec<i64>,
+    /// Witnesses for every II in `1 .. ii`, in ladder order.
+    pub rejected: Vec<RejectedII>,
+    /// Total slot trials across all rungs.
+    pub branches: u64,
+}
+
+impl ExactSchedule {
+    /// The absolute schedule time `sigma(v) = stage(v) * ii + slot(v)`.
+    pub fn sigma(&self, v: NodeId) -> i64 {
+        self.stage[v.index()] * self.ii as i64 + self.slot[v.index()] as i64
+    }
+
+    /// The retiming this schedule's stages induce (normalized): delays
+    /// pushed forward through ops of later stages. Legal for the graph
+    /// whenever the schedule's dependences are legal, which is what
+    /// plugs the exact scheduler into the CRED code generators and the
+    /// VM oracle.
+    pub fn stage_retiming(&self) -> Retiming {
+        Retiming::from_stages(&self.stage)
+    }
+}
+
+/// Schedule `g` on `m` with no budget. Panics only if a chaos plan
+/// injects a fault (mirrors `RetimeSolver`'s unbudgeted entry points).
+pub fn exact_schedule(g: &Dfg, m: &MachineModel) -> ExactSchedule {
+    exact_schedule_budgeted(g, m, &Budget::unlimited())
+        .unwrap_or_else(|e| panic!("unbudgeted exact schedule interrupted: {e}"))
+}
+
+/// Schedule `g` on `m`, charging one budget unit per branch-and-bound
+/// slot trial. On `Err` no partial schedule is returned — exhaustion is
+/// all-or-nothing, the caller's state is untouched, and the solver
+/// scratch is reusable.
+pub fn exact_schedule_budgeted(
+    g: &Dfg,
+    m: &MachineModel,
+    budget: &Budget,
+) -> Result<ExactSchedule, Exhausted> {
+    Searcher::new(g, m).run(budget)
+}
+
+#[cfg(feature = "mutation-hooks")]
+pub mod hooks {
+    //! Test-only mutation hooks. Compiled in only with the
+    //! `mutation-hooks` feature and inert (zero) until a test flips
+    //! them; mutation tests use them to verify the verification layers
+    //! actually catch solver bugs.
+
+    use std::sync::atomic::AtomicU32;
+
+    /// Extra phantom units the reservation-table conflict check believes
+    /// every class has. `0` = correct behavior; `1` re-creates the
+    /// classic off-by-one (`<=` where `<` belongs), letting one too many
+    /// ops share a class-slot.
+    pub static RESERVATION_SLACK: AtomicU32 = AtomicU32::new(0);
+}
+
+#[cfg(feature = "mutation-hooks")]
+#[inline]
+fn reservation_slack() -> u32 {
+    hooks::RESERVATION_SLACK.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+#[cfg(not(feature = "mutation-hooks"))]
+#[inline]
+fn reservation_slack() -> u32 {
+    0
+}
+
+/// Per-run search state. The graph-shaped vectors are sized once; the
+/// II-shaped tables are resized per rung.
+struct Searcher<'g> {
+    g: &'g Dfg,
+    m: &'g MachineModel,
+    /// Machine-effective time per node.
+    t: Vec<u32>,
+    /// Class index per node.
+    class: Vec<usize>,
+    /// Branch order: on-cycle nodes first, zero-delay topological
+    /// within each half (cycle nodes are where conflicts live; off-cycle
+    /// nodes never force backtracking on unconstrained machines).
+    order: Vec<u32>,
+    /// Assigned slot per node; `-1` = unassigned.
+    slot: Vec<i64>,
+    /// Stage difference constraints (DPLL(T)-style theory core).
+    engine: DiffEngine,
+    /// Modulo reservation table: `occ[c * ii + s]` ops of class `c`
+    /// in flight at slot `s`.
+    occ: Vec<u32>,
+    /// Ops issued per slot.
+    issue: Vec<u32>,
+    /// Slot trials on the current rung / across the run.
+    rung_branches: u64,
+    total_branches: u64,
+    /// Certificate found mid-search (aborts the rung).
+    cert: Option<Infeasible>,
+    /// The schedule found at a leaf.
+    found: Option<(Vec<u32>, Vec<i64>)>,
+}
+
+impl<'g> Searcher<'g> {
+    fn new(g: &'g Dfg, m: &'g MachineModel) -> Self {
+        let n = g.node_count();
+        let t: Vec<u32> = g.node_ids().map(|v| m.op_time(g, v)).collect();
+        let class: Vec<usize> = g.node_ids().map(|v| g.node(v).op.class().index()).collect();
+        let topo = algo::topo::zero_delay_topo_order(g)
+            .expect("exact scheduling requires a well-formed DFG");
+        let sccs = algo::scc::strongly_connected_components(g);
+        let mut order: Vec<u32> = topo
+            .iter()
+            .filter(|&&v| algo::scc::is_on_cycle(g, &sccs, v))
+            .map(|v| v.0)
+            .collect();
+        order.extend(
+            topo.iter()
+                .filter(|&&v| !algo::scc::is_on_cycle(g, &sccs, v))
+                .map(|v| v.0),
+        );
+        debug_assert_eq!(order.len(), n);
+        Searcher {
+            g,
+            m,
+            t,
+            class,
+            order,
+            slot: vec![-1; n],
+            engine: DiffEngine::new(n),
+            occ: Vec::new(),
+            issue: Vec::new(),
+            rung_branches: 0,
+            total_branches: 0,
+            cert: None,
+            found: None,
+        }
+    }
+
+    fn run(mut self, budget: &Budget) -> Result<ExactSchedule, Exhausted> {
+        let n = self.g.node_count();
+        assert!(n > 0, "exact scheduling requires a non-empty DFG");
+        // Guaranteed-feasible ceiling: the sequential schedule.
+        let ii_max: u64 = self.t.iter().map(|&t| t as u64).sum();
+        let mut rejected = Vec::new();
+        for ii in 1..=ii_max {
+            match self.try_rung(ii, budget)? {
+                Ok((slot, stage)) => {
+                    return Ok(ExactSchedule {
+                        ii,
+                        slot,
+                        stage,
+                        rejected,
+                        branches: self.total_branches,
+                    });
+                }
+                Err(witness) => rejected.push(RejectedII { ii, witness }),
+            }
+        }
+        unreachable!("II = sum of op times always admits the sequential schedule");
+    }
+
+    /// One rung: static screens, then exhaustive search. The outer
+    /// `Result` is budget exhaustion; the inner is rung feasibility.
+    #[allow(clippy::type_complexity)]
+    fn try_rung(
+        &mut self,
+        ii: u64,
+        budget: &Budget,
+    ) -> Result<Result<(Vec<u32>, Vec<i64>), Infeasible>, Exhausted> {
+        // Window screen.
+        if let Some(v) = (0..self.t.len()).max_by_key(|&v| self.t[v]) {
+            if self.t[v] as u64 > ii {
+                return Ok(Err(Infeasible::OpExceedsWindow {
+                    node: v as u32,
+                    time: self.t[v],
+                }));
+            }
+        }
+        // Per-class occupancy screen.
+        for class in OpClass::ALL {
+            if let Some(units) = self.m.units(class) {
+                let occupancy: u64 = (0..self.t.len())
+                    .filter(|&v| self.class[v] == class.index())
+                    .map(|v| self.t[v] as u64)
+                    .sum();
+                if occupancy > ii * units as u64 {
+                    return Ok(Err(Infeasible::ResourceCap {
+                        class,
+                        occupancy,
+                        units,
+                    }));
+                }
+            }
+        }
+        // Issue-width screen.
+        if let Some(width) = self.m.issue_width {
+            let ops = self.t.len() as u64;
+            if ops > ii * width as u64 {
+                return Ok(Err(Infeasible::IssueWidth { ops, width }));
+            }
+        }
+        // Self-loop screen (the smallest critical cycles, caught without
+        // searching).
+        for e in self.g.edge_ids() {
+            let ed = self.g.edge(e);
+            if ed.src == ed.dst {
+                let time = self.t[ed.src.index()] as u64;
+                let delay = ed.delay as u64;
+                if time > ii * delay {
+                    return Ok(Err(Infeasible::CriticalCycle {
+                        edges: vec![e.0],
+                        total_time: time,
+                        total_delay: delay,
+                    }));
+                }
+            }
+        }
+        // Exhaustive search.
+        let n = self.g.node_count();
+        self.slot.iter_mut().for_each(|s| *s = -1);
+        self.engine.reset(n);
+        self.occ.clear();
+        self.occ.resize(OP_CLASSES * ii as usize, 0);
+        self.issue.clear();
+        self.issue.resize(ii as usize, 0);
+        self.rung_branches = 0;
+        self.cert = None;
+        self.found = None;
+        let feasible = self.dfs(0, ii, budget)?;
+        self.total_branches += self.rung_branches;
+        if feasible {
+            return Ok(Ok(self.found.take().expect("dfs success records a leaf")));
+        }
+        if let Some(w) = self.cert.take() {
+            return Ok(Err(w));
+        }
+        Ok(Err(Infeasible::Exhausted {
+            branches: self.rung_branches,
+        }))
+    }
+
+    fn dfs(&mut self, depth: usize, ii: u64, budget: &Budget) -> Result<bool, Exhausted> {
+        if depth == self.order.len() {
+            self.found = Some((
+                self.slot.iter().map(|&s| s as u32).collect(),
+                self.engine.values().to_vec(),
+            ));
+            return Ok(true);
+        }
+        let v = self.order[depth] as usize;
+        let tv = self.t[v] as i64;
+        for s in 0..=(ii as i64 - tv) {
+            failpoint::hit(sites::EXACT_BRANCH).map_err(|f| Exhausted::Injected { site: f.site })?;
+            budget.charge(1)?;
+            self.rung_branches += 1;
+            if !self.reserve(v, s, ii) {
+                continue;
+            }
+            let cp = self.engine.checkpoint();
+            if self.assert_edges(v, s, ii) {
+                self.slot[v] = s;
+                if self.dfs(depth + 1, ii, budget)? {
+                    return Ok(true);
+                }
+                self.slot[v] = -1;
+            }
+            self.engine.rollback(cp);
+            self.release(v, s);
+            if self.cert.is_some() {
+                // A rung-level certificate was found below; unwind.
+                return Ok(false);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Try to reserve the modulo reservation table for `v` at slot `s`:
+    /// one unit of `v`'s class for `s .. s + t(v)` plus one issue slot
+    /// at `s`. Returns false (table untouched) on conflict.
+    fn reserve(&mut self, v: usize, s: i64, ii: u64) -> bool {
+        let ci = self.class[v];
+        let t = self.t[v] as i64;
+        // `reservation_slack` is 0 unless a mutation test armed the
+        // test-only hook; see `hooks`.
+        if let Some(units) = self.m.units(OpClass::ALL[ci]) {
+            let cap = units + reservation_slack();
+            let base = ci * ii as usize;
+            for q in s..s + t {
+                if self.occ[base + q as usize] + 1 > cap {
+                    return false;
+                }
+            }
+        }
+        if let Some(width) = self.m.issue_width {
+            if self.issue[s as usize] + 1 > width {
+                return false;
+            }
+        }
+        let base = ci * ii as usize;
+        for q in s..s + t {
+            self.occ[base + q as usize] += 1;
+        }
+        self.issue[s as usize] += 1;
+        true
+    }
+
+    fn release(&mut self, v: usize, s: i64) {
+        let base = self.class[v] * self.issue.len();
+        for q in s..s + self.t[v] as i64 {
+            self.occ[base + q as usize] -= 1;
+        }
+        self.issue[s as usize] -= 1;
+    }
+
+    /// Assert the stage constraints of every edge between `v` (slot `s`)
+    /// and an already-assigned endpoint. On conflict, rolls back its own
+    /// partial asserts' effects via the caller's checkpoint contract
+    /// (caller always rolls back to its checkpoint on `false`), tries to
+    /// promote the conflict cycle to a rung-level certificate, and
+    /// returns false.
+    fn assert_edges(&mut self, v: usize, s: i64, ii: u64) -> bool {
+        for &e in self.g.in_edges(NodeId(v as u32)) {
+            let ed = self.g.edge(e);
+            let u = ed.src.index();
+            let su = if u == v { s } else { self.slot[u] };
+            if su < 0 {
+                continue;
+            }
+            let q = i64::from(s < su + self.t[u] as i64);
+            if let Err(cy) = self.engine.assert_ge(u, v, q - ed.delay as i64) {
+                self.try_promote(ii, &cy.nodes);
+                return false;
+            }
+        }
+        for &e in self.g.out_edges(NodeId(v as u32)) {
+            let ed = self.g.edge(e);
+            let w = ed.dst.index();
+            if w == v {
+                continue; // self-loop handled above
+            }
+            let sw = self.slot[w];
+            if sw < 0 {
+                continue;
+            }
+            let q = i64::from(sw < s + self.t[v] as i64);
+            if let Err(cy) = self.engine.assert_ge(v, w, q - ed.delay as i64) {
+                self.try_promote(ii, &cy.nodes);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A stage-constraint conflict names a dependence cycle of the
+    /// graph. If that cycle (taking the minimum-delay edge per hop) is
+    /// critical at this II — `total_time > ii * total_delay` — then no
+    /// slot assignment can ever work and the whole rung is certified
+    /// infeasible, not just this branch.
+    fn try_promote(&mut self, ii: u64, nodes: &[u32]) {
+        if self.cert.is_some() {
+            return;
+        }
+        let k = nodes.len();
+        let mut edges = Vec::with_capacity(k);
+        let mut total_time = 0u64;
+        let mut total_delay = 0u64;
+        for i in 0..k {
+            let a = NodeId(nodes[i]);
+            let b = nodes[(i + 1) % k];
+            let best = self
+                .g
+                .out_edges(a)
+                .iter()
+                .filter(|&&e| self.g.edge(e).dst.0 == b)
+                .min_by_key(|&&e| self.g.edge(e).delay)
+                .expect("conflict cycle hops are graph edges");
+            edges.push(best.0);
+            total_time += self.t[a.index()] as u64;
+            total_delay += self.g.edge(*best).delay as u64;
+        }
+        if total_time > ii * total_delay {
+            self.cert = Some(Infeasible::CriticalCycle {
+                edges,
+                total_time,
+                total_delay,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cred_dfg::{DfgBuilder, OpKind};
+
+    /// Figure 1(a): A -> B (0 delays), B -> A (2 delays), unit times.
+    fn two_node() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let a = b.node("A", 1, OpKind::Add(1));
+        let bb = b.node("B", 1, OpKind::Mul(2));
+        b.edge(a, bb, 0);
+        b.edge(bb, a, 2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unconstrained_matches_retiming_min_period() {
+        let g = two_node();
+        let m = MachineModel::unconstrained();
+        let s = exact_schedule(&g, &m);
+        let opt = cred_retime::min_period_retiming(&g);
+        assert_eq!(s.ii, opt.period as u64);
+        assert_eq!(s.ii, 1);
+        assert!(s.rejected.is_empty());
+        crate::check::check_schedule(&g, &m, &s).unwrap();
+    }
+
+    #[test]
+    fn scalar_machine_serializes_the_two_ops() {
+        // One ALU + one MAC but issue width 1: the two ops cannot issue
+        // in the same cycle, so II = 1 is impossible and II = 2 works.
+        let g = two_node();
+        let m = MachineModel::builtin("scalar").unwrap();
+        let s = exact_schedule(&g, &m);
+        assert_eq!(s.ii, 2);
+        assert_eq!(s.rejected.len(), 1);
+        assert_eq!(
+            s.rejected[0].witness,
+            Infeasible::IssueWidth { ops: 2, width: 1 }
+        );
+        crate::check::check_schedule(&g, &m, &s).unwrap();
+    }
+
+    #[test]
+    fn resource_cap_witnessed() {
+        // Three independent MACs on one MAC unit with unlimited issue.
+        let mut b = DfgBuilder::new();
+        for i in 0..3 {
+            let v = b.node(format!("M{i}"), 1, OpKind::Mul(0));
+            b.edge(v, v, 1);
+        }
+        let g = b.build().unwrap();
+        let mut m = MachineModel::unconstrained();
+        m.set_units(OpClass::Mac, Some(1));
+        let s = exact_schedule(&g, &m);
+        assert_eq!(s.ii, 3);
+        for r in &s.rejected {
+            assert!(matches!(
+                r.witness,
+                Infeasible::ResourceCap {
+                    class: OpClass::Mac,
+                    occupancy: 3,
+                    units: 1,
+                }
+            ));
+            crate::check::check_witness(&g, &m, r).unwrap();
+        }
+        crate::check::check_schedule(&g, &m, &s).unwrap();
+    }
+
+    #[test]
+    fn critical_cycle_witnessed_without_exhaustion() {
+        // Self-loop with time 4, one delay: II < 4 is cycle-infeasible.
+        let mut b = DfgBuilder::new();
+        let a = b.node("A", 4, OpKind::Add(0));
+        b.edge(a, a, 1);
+        let g = b.build().unwrap();
+        let m = MachineModel::unconstrained();
+        let s = exact_schedule(&g, &m);
+        assert_eq!(s.ii, 4);
+        for r in &s.rejected {
+            // II 1..3 reject via the window screen (time 4 > II) — the
+            // self-loop screen never gets a chance; force it with a
+            // second node instead.
+            crate::check::check_witness(&g, &m, r).unwrap();
+        }
+        // A two-node cycle with total time 4, one delay: II 2..3 reject
+        // via the cycle, not the window.
+        let mut b = DfgBuilder::new();
+        let x = b.node("X", 2, OpKind::Add(0));
+        let y = b.node("Y", 2, OpKind::Add(0));
+        b.edge(x, y, 0);
+        b.edge(y, x, 1);
+        let g = b.build().unwrap();
+        let s = exact_schedule(&g, &m);
+        assert_eq!(s.ii, 4);
+        assert_eq!(s.rejected.len(), 3);
+        for r in &s.rejected[1..] {
+            assert!(
+                matches!(
+                    r.witness,
+                    Infeasible::CriticalCycle {
+                        total_time: 4,
+                        total_delay: 1,
+                        ..
+                    }
+                ),
+                "ii {} got {:?}",
+                r.ii,
+                r.witness
+            );
+            crate::check::check_witness(&g, &m, r).unwrap();
+        }
+        crate::check::check_schedule(&g, &m, &s).unwrap();
+    }
+
+    #[test]
+    fn latency_override_lengthens_mac_ops() {
+        // vliw2 gives MACs latency 2; a single MAC self-loop with 1
+        // delay then needs II = 2 even though the node claims time 1.
+        let mut b = DfgBuilder::new();
+        let v = b.node("M", 1, OpKind::Mac(0));
+        b.edge(v, v, 1);
+        let g = b.build().unwrap();
+        let m = MachineModel::builtin("vliw2").unwrap();
+        let s = exact_schedule(&g, &m);
+        assert_eq!(s.ii, 2);
+        crate::check::check_schedule(&g, &m, &s).unwrap();
+    }
+
+    #[test]
+    fn budget_exhaustion_is_all_or_nothing() {
+        let g = two_node();
+        let m = MachineModel::builtin("scalar").unwrap();
+        let full = exact_schedule(&g, &m);
+        // Find the exact trial count, then starve one unit below it.
+        // (A fully unlimited budget skips the counter, so set a limit.)
+        let need = {
+            let b = Budget::unlimited().with_work_limit(u64::MAX);
+            exact_schedule_budgeted(&g, &m, &b).unwrap();
+            b.work_used()
+        };
+        assert_eq!(need, full.branches);
+        for limit in [0, 1, need - 1] {
+            let b = Budget::unlimited().with_work_limit(limit);
+            match exact_schedule_budgeted(&g, &m, &b) {
+                Err(Exhausted::WorkUnits { limit: l }) => assert_eq!(l, limit),
+                other => panic!("expected WorkUnits exhaustion, got {other:?}"),
+            }
+        }
+        let b = Budget::unlimited().with_work_limit(need);
+        assert_eq!(exact_schedule_budgeted(&g, &m, &b).unwrap(), full);
+    }
+
+    #[test]
+    fn stage_retiming_is_legal_and_matches_period() {
+        let g = two_node();
+        let s = exact_schedule(&g, &MachineModel::unconstrained());
+        let r = s.stage_retiming();
+        assert!(r.is_legal(&g));
+        let gr = r.apply(&g);
+        assert!(algo::cycle_period(&gr).unwrap() <= s.ii);
+    }
+}

@@ -1,0 +1,38 @@
+//! The committed machine description files in `machines/` are the
+//! on-disk form of the compiled-in builtins. This test pins them
+//! together: editing one without the other fails here, so `credc
+//! verify --machine machines/scalar.mach` and `--machine scalar` can
+//! never drift apart.
+
+use std::fs;
+use std::path::Path;
+
+use cred_exact::MachineModel;
+
+#[test]
+fn committed_machine_files_match_builtins() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../machines");
+    for name in MachineModel::BUILTIN_NAMES {
+        let path = dir.join(format!("{name}.mach"));
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        let parsed = MachineModel::parse(&text)
+            .unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+        let builtin = MachineModel::builtin(name).unwrap();
+        assert_eq!(
+            parsed, builtin,
+            "machines/{name}.mach drifted from MachineModel::builtin({name:?})"
+        );
+    }
+}
+
+#[test]
+fn machine_files_round_trip_through_canonical_text() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../machines");
+    for name in MachineModel::BUILTIN_NAMES {
+        let text = fs::read_to_string(dir.join(format!("{name}.mach"))).unwrap();
+        let parsed = MachineModel::parse(&text).unwrap();
+        let reparsed = MachineModel::parse(&parsed.to_text()).unwrap();
+        assert_eq!(parsed, reparsed);
+    }
+}

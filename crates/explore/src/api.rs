@@ -21,11 +21,14 @@
 
 use std::time::Duration;
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use cred_codegen::DecMode;
 use cred_dfg::Dfg;
-use cred_resilience::{Budget, CancelToken, DegradationEvent, DegradeCause};
+use cred_exact::{exact_schedule_budgeted, MachineModel};
+use cred_resilience::{Budget, CancelToken, DegradationEvent, DegradeCause, Exhausted};
 
-use crate::cache::SweepCache;
+use crate::cache::{PlanSource, SweepCache};
 use crate::error::CredError;
 use crate::{pareto, resilient_sweep, PointStatus, SweepReport, TradeoffPoint};
 
@@ -47,6 +50,12 @@ pub struct ExploreOptions {
     /// degraded point is a [`CredError::DegradedUnderStrict`] via
     /// [`ExploreResponse::strict_violation`].
     pub strict: bool,
+    /// Optional machine model: when set, the exact resource-constrained
+    /// scheduler additionally proves the kernel's minimum initiation
+    /// interval on this machine, reported as
+    /// [`ExploreResponse::exact`]. `None` skips the exact pass entirely
+    /// (the historical, retiming-only behavior).
+    pub machine: Option<MachineModel>,
 }
 
 impl Default for ExploreOptions {
@@ -57,6 +66,7 @@ impl Default for ExploreOptions {
             mode: DecMode::Bulk,
             threads: 1,
             strict: false,
+            machine: None,
         }
     }
 }
@@ -149,6 +159,13 @@ impl ExploreRequest {
         self
     }
 
+    /// Prove the exact resource-constrained II on `machine` alongside the
+    /// sweep (see [`ExploreOptions::machine`]).
+    pub fn machine(mut self, machine: MachineModel) -> Self {
+        self.opts.machine = Some(machine);
+        self
+    }
+
     /// Wall-clock budget for the whole request, measured from
     /// [`run`](Self::run).
     pub fn deadline(mut self, limit: Duration) -> Self {
@@ -190,12 +207,16 @@ impl ExploreRequest {
     /// computed it and must not be served to another key-equal request
     /// with different limits; a sharing layer has to recompute those
     /// (see the service's coalescer).
-    pub fn coalesce_key(&self) -> (u64, usize, u64, u8) {
+    pub fn coalesce_key(&self) -> (u64, usize, u64, u8, u64) {
         (
             self.graph.fingerprint(),
             self.opts.max_f,
             self.opts.n,
             mode_code(self.opts.mode),
+            // 0 = no exact pass requested; a requested machine keys by
+            // its structural fingerprint, so two requests naming
+            // different machines never share an exact summary.
+            self.opts.machine.as_ref().map_or(0, MachineModel::fingerprint),
         )
     }
 
@@ -265,14 +286,75 @@ impl ExploreRequest {
                 return Err(CredError::BudgetExhausted(e));
             }
         }
+        let exact = match &self.opts.machine {
+            None => None,
+            Some(m) => Some(exact_summary(&self.graph, m, &budget)?),
+        };
         Ok(ExploreResponse {
             pareto: pareto(&points),
             points,
             report,
             cache: CacheStats::of(cache),
             opts: self.opts.clone(),
+            exact,
         })
     }
+}
+
+/// Run the exact scheduler under `budget`, degrading gracefully.
+///
+/// The ladder mirrors [`crate::cache::compute_plan_budgeted`]:
+///
+/// 1. run the branch-and-bound search under `budget`;
+/// 2. if it exhausts (deadline, work units, injected fault) **or
+///    panics**, fall back to the resource-*blind* retiming minimum — the
+///    II every machine can only match or exceed — and record a
+///    [`DegradationEvent`] in [`ExactSummary::source`] so the caller
+///    knows the number is a lower bound, not a proof;
+/// 3. cancellation propagates: the caller asked the whole request to
+///    stop.
+fn exact_summary(g: &Dfg, m: &MachineModel, budget: &Budget) -> Result<ExactSummary, CredError> {
+    let cause = match catch_unwind(AssertUnwindSafe(|| exact_schedule_budgeted(g, m, budget))) {
+        Ok(Ok(sched)) => {
+            return Ok(ExactSummary {
+                machine: m.name.clone(),
+                ii: sched.ii,
+                source: PlanSource::Solver,
+            })
+        }
+        Ok(Err(Exhausted::Cancelled)) => {
+            return Err(CredError::BudgetExhausted(Exhausted::Cancelled))
+        }
+        Ok(Err(e)) => DegradeCause::Exhausted(e),
+        Err(payload) => {
+            DegradeCause::Panicked(cred_resilience::panic_message(payload.as_ref()))
+        }
+    };
+    let event = DegradationEvent {
+        site: format!("explore.exact machine={}", m.name),
+        cause,
+    };
+    Ok(ExactSummary {
+        machine: m.name.clone(),
+        ii: cred_retime::min_period_retiming(g).period,
+        source: PlanSource::Reference(event),
+    })
+}
+
+/// The exact scheduler's verdict for one request, reported when
+/// [`ExploreOptions::machine`] was set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactSummary {
+    /// Name of the machine model the II was proven on.
+    pub machine: String,
+    /// The proven-minimal initiation interval — or, when
+    /// [`source`](Self::source) is degraded, the resource-blind retiming
+    /// lower bound the ladder fell back to.
+    pub ii: u64,
+    /// Whether the exact search finished ([`PlanSource::Solver`]) or the
+    /// degradation ladder substituted the unconstrained fallback
+    /// ([`PlanSource::Reference`], carrying the event that says why).
+    pub source: PlanSource,
 }
 
 /// Snapshot of a [`SweepCache`]'s counters. For a request-local cache the
@@ -319,6 +401,8 @@ pub struct ExploreResponse {
     pub cache: CacheStats,
     /// Echo of the options the response was computed under.
     pub opts: ExploreOptions,
+    /// Exact-scheduler verdict, present iff the request named a machine.
+    pub exact: Option<ExactSummary>,
 }
 
 impl ExploreResponse {
@@ -371,11 +455,28 @@ pub fn point_json(p: &TradeoffPoint) -> String {
     )
 }
 
+/// Serialize an [`ExactSummary`] in the stable JSON shape shared by the
+/// CLI and the service wire format. `source` renders as `"solver"` or as
+/// a degradation object naming the site and cause.
+pub fn exact_json(e: &ExactSummary) -> String {
+    let source = match &e.source {
+        PlanSource::Solver => "\"solver\"".to_string(),
+        PlanSource::Reference(ev) => format!(
+            "{{ \"fallback\": \"retiming-lower-bound\", \"site\": {:?}, \"cause\": {:?} }}",
+            ev.site,
+            ev.cause.to_string()
+        ),
+    };
+    format!(
+        "{{ \"machine\": {:?}, \"ii\": {}, \"source\": {} }}",
+        e.machine, e.ii, source
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cred_dfg::gen;
-    use cred_resilience::Exhausted;
 
     fn sample() -> Dfg {
         gen::chain_with_feedback(6, 3)
@@ -505,11 +606,89 @@ mod tests {
             key
         );
         assert_ne!(
-            ExploreRequest::new(g)
+            ExploreRequest::new(g.clone())
                 .max_f(3)
                 .mode(DecMode::PerCopy)
                 .coalesce_key(),
             key
         );
+        // The machine is a compute input too: naming one changes the
+        // key, and different machines get different keys.
+        let scalar = ExploreRequest::new(g.clone())
+            .max_f(3)
+            .machine(MachineModel::builtin("scalar").unwrap());
+        assert_ne!(scalar.coalesce_key(), key);
+        assert_ne!(
+            ExploreRequest::new(g)
+                .max_f(3)
+                .machine(MachineModel::builtin("vliw2").unwrap())
+                .coalesce_key(),
+            scalar.coalesce_key()
+        );
+    }
+
+    #[test]
+    fn machine_request_reports_proven_exact_ii() {
+        // Without a machine the response carries no exact summary.
+        let plain = ExploreRequest::new(sample()).max_f(2).run().unwrap();
+        assert!(plain.exact.is_none());
+        // With one, the II is the solver's proof — equal to what the
+        // standalone exact entry point computes.
+        let m = MachineModel::builtin("scalar").unwrap();
+        let resp = ExploreRequest::new(sample())
+            .max_f(2)
+            .machine(m.clone())
+            .run()
+            .unwrap();
+        let exact = resp.exact.expect("machine was named");
+        assert_eq!(exact.machine, "scalar");
+        assert_eq!(
+            exact.ii,
+            cred_exact::exact_schedule(&sample(), &m).ii
+        );
+        assert!(exact.source.is_fast());
+        // The unconstrained machine degenerates to the retiming minimum.
+        let un = ExploreRequest::new(sample())
+            .machine(MachineModel::unconstrained())
+            .run()
+            .unwrap();
+        assert_eq!(
+            un.exact.unwrap().ii,
+            cred_retime::min_period_retiming(&sample()).period
+        );
+    }
+
+    #[test]
+    fn starved_exact_pass_falls_back_to_retiming_lower_bound() {
+        // A zero work budget exhausts inside the exact search; the
+        // degradation ladder substitutes the resource-blind retiming
+        // bound and says so in the source.
+        let g = sample();
+        let resp = ExploreRequest::new(g.clone())
+            .max_f(2)
+            .machine(MachineModel::builtin("scalar").unwrap())
+            .work_limit(0)
+            .run()
+            .unwrap();
+        let exact = resp.exact.expect("machine was named");
+        assert_eq!(exact.ii, cred_retime::min_period_retiming(&g).period);
+        match &exact.source {
+            PlanSource::Reference(ev) => {
+                assert!(ev.site.contains("explore.exact"), "{}", ev.site);
+                assert!(matches!(ev.cause, DegradeCause::Exhausted(_)));
+            }
+            PlanSource::Solver => panic!("starved search cannot claim a proof"),
+        }
+        // The summary JSON names the fallback.
+        let j = exact_json(&exact);
+        assert!(j.contains("retiming-lower-bound"), "{j}");
+        // Cancellation is not degraded around: it propagates as a typed
+        // error even when only the exact pass observes it.
+        let solver_json = exact_json(&ExactSummary {
+            machine: "scalar".into(),
+            ii: 5,
+            source: PlanSource::Solver,
+        });
+        assert!(solver_json.contains("\"solver\""), "{solver_json}");
     }
 }

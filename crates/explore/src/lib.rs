@@ -35,7 +35,10 @@ pub mod cache;
 pub mod error;
 pub mod suite;
 
-pub use api::{point_json, CacheStats, ExploreOptions, ExploreRequest, ExploreResponse};
+pub use api::{
+    exact_json, point_json, CacheStats, ExactSummary, ExploreOptions, ExploreRequest,
+    ExploreResponse,
+};
 pub use error::CredError;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -18,9 +18,12 @@ use crate::cache::SweepCache;
 use crate::TradeoffPoint;
 
 /// JSON schema version stamped into [`SuiteReport::to_json`] and into
-/// every `cred-service` response. Bump only with a compat plan: the
-/// committed v1 golden files replay against whatever claims version 1.
-pub const SCHEMA_VERSION: u32 = 1;
+/// every `cred-service` response. Bump only with a compat plan: v2 adds
+/// the optional `machine` request parameter and the `exact` response
+/// object (absent unless a machine was named, so v1 readers that ignore
+/// unknown keys keep working); the committed golden files replay against
+/// whatever claims the current version.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The sweep of one kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +98,7 @@ pub fn explore_suite(
         mode,
         threads,
         strict: false,
+        machine: None,
     };
     let reports = kernels
         .iter()

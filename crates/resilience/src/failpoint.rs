@@ -88,6 +88,9 @@ pub mod sites {
     pub const VM_EXEC: &str = "vm.exec";
     /// Entry of the tape compiler lowering a program (`cred-vm`).
     pub const VM_COMPILE: &str = "vm.compile";
+    /// Once per branch-and-bound decision of the exact resource-
+    /// constrained scheduler (`cred-exact`).
+    pub const EXACT_BRANCH: &str = "exact.branch";
 
     /// Every site above, for plan sampling and documentation.
     pub const ALL: &[&str] = &[
@@ -100,6 +103,7 @@ pub mod sites {
         CODEGEN_UNFOLD,
         VM_EXEC,
         VM_COMPILE,
+        EXACT_BRANCH,
     ];
 }
 

@@ -26,6 +26,10 @@
 //!   code-size theorems rest on;
 //! * [`constraints`] — the reference difference-constraint solver
 //!   (edge-list Bellman–Ford), kept as the differential-testing oracle;
+//! * [`diff`] — the incremental difference-constraint engine (assert one
+//!   constraint at a time, checkpoint/rollback on a trail, positive-cycle
+//!   witnesses), the DPLL(T)-style theory core `cred-exact`'s
+//!   branch-and-bound scheduler propagates its dependence side on;
 //! * [`incremental`] — the production solver: CSR constraint graph with a
 //!   period-activation prefix, queue-based SPFA, and warm starts across
 //!   the period/span binary searches (bit-identical to the reference);
@@ -39,6 +43,7 @@
 //! * [`registers`] — exact branch-and-bound minimization of `|N_r|`.
 
 pub mod constraints;
+pub mod diff;
 pub mod feas;
 pub mod incremental;
 pub mod minperiod;
@@ -47,6 +52,7 @@ mod retiming;
 pub mod span;
 
 pub use constraints::ConstraintSystem;
+pub use diff::{DiffEngine, PositiveCycle};
 pub use incremental::{CsrConstraintGraph, RetimeSolver, SolverScratch};
 pub use minperiod::{
     min_period_retiming, min_period_retiming_with, retime_to_period, retime_to_period_with,

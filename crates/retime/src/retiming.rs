@@ -24,6 +24,21 @@ impl Retiming {
         Retiming { values }
     }
 
+    /// Adapter from a modulo-schedule *stage* assignment to the retiming
+    /// domain: a schedule `sigma(v) = stage(v) * II + slot(v)` that keeps
+    /// every op inside one II window corresponds to the normalized
+    /// retiming `r(v) = max_u stage(u) - stage(v)` (delays pushed forward
+    /// through the ops of later stages; the paper's sign convention).
+    /// Legality of the schedule's dependences implies legality of the
+    /// retiming — `cred-exact` produces the stages, this converts them.
+    pub fn from_stages(stages: &[i64]) -> Self {
+        let mut r = Retiming {
+            values: stages.iter().map(|&k| -k).collect(),
+        };
+        r.normalize();
+        r
+    }
+
     /// Number of nodes this retiming covers.
     pub fn len(&self) -> usize {
         self.values.len()
@@ -272,6 +287,13 @@ mod tests {
         let distinct: Vec<i64> = r.distinct_values().into_iter().collect();
         assert_eq!(distinct, vec![0, 3, 4]);
         assert_eq!(r.register_count(), 3);
+    }
+
+    #[test]
+    fn from_stages_negates_and_normalizes() {
+        let r = Retiming::from_stages(&[0, 1, 3]);
+        assert_eq!(r.values(), &[3, 2, 0]);
+        assert!(r.is_normalized());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Functional-unit classes and machine resource configurations.
 
-use cred_dfg::OpKind;
+use cred_dfg::{OpClass, OpKind};
 
 /// Functional-unit classes of the modeled VLIW datapath (a simplification
 /// of the TMS320C6000 split into arithmetic/logic units and multipliers).
@@ -27,11 +27,13 @@ impl FuKind {
     }
 }
 
-/// The FU class executing an operation.
+/// The FU class executing an operation. The op→class partition lives on
+/// [`OpKind::class`] in `cred-dfg` so `cred-exact`'s machine models and
+/// this crate's FU configs can never disagree about it.
 pub fn fu_kind(op: OpKind) -> FuKind {
-    match op {
-        OpKind::Add(_) | OpKind::Sub(_) | OpKind::Input(_) => FuKind::Alu,
-        OpKind::Mul(_) | OpKind::Mac(_) | OpKind::Scale(..) | OpKind::ScaledMul(..) => FuKind::Mul,
+    match op.class() {
+        OpClass::Alu => FuKind::Alu,
+        OpClass::Mac => FuKind::Mul,
     }
 }
 

@@ -80,7 +80,8 @@ use cred_codegen::DecMode;
 use cred_dfg::Dfg;
 use cred_explore::cache::SweepCache;
 use cred_explore::suite::{load_kernels, SCHEMA_VERSION};
-use cred_explore::{point_json, CacheStats, CredError, ExploreRequest, ExploreResponse};
+use cred_exact::MachineModel;
+use cred_explore::{exact_json, point_json, CacheStats, CredError, ExploreRequest, ExploreResponse};
 use cred_resilience::{CancelToken, DegradeCause, Exhausted};
 
 use crate::coalesce::{Coalescer, Role};
@@ -168,7 +169,7 @@ impl Default for ServiceConfig {
 
 /// The deduplication key of an explore request
 /// ([`ExploreRequest::coalesce_key`]).
-type ExploreKey = (u64, usize, u64, u8);
+type ExploreKey = (u64, usize, u64, u8, u64);
 
 /// The shared outcome of one coalesced explore computation: the leader
 /// computes it once, every joiner clones the `Arc`.
@@ -876,6 +877,10 @@ fn handle_explore(
         .trip_count(params.n)
         .mode(params.mode)
         .cancel(shared.master_cancel.clone());
+    let request = match params.machine {
+        Some(m) => request.machine(m),
+        None => request,
+    };
     let request = match deadline {
         Some(d) => request.deadline(d),
         None => request,
@@ -971,6 +976,7 @@ struct ExploreParams {
     max_f: usize,
     n: u64,
     mode: DecMode,
+    machine: Option<MachineModel>,
     strict: bool,
     deadline: Option<Duration>,
     work_limit: Option<u64>,
@@ -1034,6 +1040,18 @@ impl ExploreParams {
                 }
             },
         };
+        let machine = match req.get("machine") {
+            None => None,
+            Some(v) => match v.as_str().and_then(MachineModel::builtin) {
+                Some(m) => Some(m),
+                None => {
+                    return Err(CredError::Protocol(format!(
+                        "machine must be one of {:?}",
+                        MachineModel::BUILTIN_NAMES
+                    )))
+                }
+            },
+        };
         let strict = match req.get("strict") {
             None => false,
             Some(v) => v
@@ -1078,6 +1096,7 @@ impl ExploreParams {
             max_f,
             n,
             mode,
+            machine,
             strict,
             deadline,
             work_limit,
@@ -1149,11 +1168,18 @@ fn render_explore(
             json::escape(msg)
         ));
     }
+    out.push(']');
+    // The exact verdict appears only when the request named a machine, so
+    // pre-machine clients never see the key.
+    if let Some(exact) = &resp.exact {
+        out.push_str(",\"exact\":");
+        out.push_str(&exact_json(exact));
+    }
     // Cache counters are re-read at render time: for the shared cache the
     // response-embedded snapshot inside `resp` may be stale by now.
     let cache = CacheStats::of(&shared.cache);
     out.push_str(&format!(
-        "],\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"poison_recoveries\":{}}}}}",
+        ",\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"poison_recoveries\":{}}}}}",
         cache.hits, cache.misses, cache.evictions, cache.poison_recoveries
     ));
     out

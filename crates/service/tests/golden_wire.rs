@@ -1,11 +1,14 @@
-//! Wire-format compatibility: a committed schema-version-1 response must
-//! keep replaying byte-for-byte.
+//! Wire-format compatibility: a committed response at the current
+//! schema version must keep replaying byte-for-byte.
 //!
 //! The golden file pins the full explore response for a fixed request
 //! (figure3, max_f 3, n 31, bulk, fresh server). If this test fails, the
-//! v1 wire format changed — either revert the change or introduce
-//! schema version 2 with a compat plan. Regenerate deliberately with
-//! `UPDATE_GOLDEN=1 cargo test -p cred-service --test golden_v1`.
+//! wire format changed — either revert the change or bump
+//! `SCHEMA_VERSION` with a compat plan (v1 -> v2 added the optional
+//! `machine` parameter and `exact` response object; this request names
+//! no machine, so the v2 golden body is the v1 body). Regenerate
+//! deliberately with
+//! `UPDATE_GOLDEN=1 cargo test -p cred-service --test golden_wire`.
 
 mod common;
 
@@ -17,11 +20,11 @@ const REQUEST: &str =
     "{\"type\":\"explore\",\"id\":\"golden-1\",\"kernel\":\"figure3\",\"max_f\":3,\"n\":31}";
 
 fn golden_path() -> std::path::PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/explore_v1.json")
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/explore_v2.json")
 }
 
 #[test]
-fn v1_explore_response_replays_byte_for_byte() {
+fn explore_response_replays_byte_for_byte() {
     // A fresh server makes the embedded cache counters deterministic:
     // exactly the three per-factor plans of this request, all misses.
     let server = TestServer::spawn(|_| {});
@@ -35,7 +38,7 @@ fn v1_explore_response_replays_byte_for_byte() {
     assert_eq!(
         resp,
         golden.trim_end(),
-        "the v1 wire format drifted from the committed golden response"
+        "the wire format drifted from the committed golden response"
     );
-    assert!(golden.contains("\"schema_version\":1"));
+    assert!(golden.contains("\"schema_version\":2"));
 }

@@ -29,7 +29,7 @@ fn ping_echoes_the_id() {
     let server = TestServer::spawn(|_| {});
     let resp = server.request("{\"type\":\"ping\",\"id\":\"abc\"}");
     assert!(resp.contains("\"ok\":true"), "{resp}");
-    assert!(resp.contains("\"schema_version\":1"), "{resp}");
+    assert!(resp.contains("\"schema_version\":2"), "{resp}");
     assert!(resp.contains("\"id\":\"abc\""), "{resp}");
     assert!(resp.contains("\"type\":\"pong\""), "{resp}");
     // Integer ids are echoed as integers.

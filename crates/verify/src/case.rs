@@ -9,6 +9,7 @@
 use cred_codegen::DecMode;
 use cred_dfg::gen::{random_dfg, RandomDfgConfig};
 use cred_dfg::Dfg;
+use cred_exact::MachineModel;
 use rand::{Rng, RngExt};
 use std::fmt;
 
@@ -49,20 +50,26 @@ pub struct Case {
     pub order: TransformOrder,
     /// Conditional-register decrement placement.
     pub mode: DecMode,
+    /// Machine model the exact scheduler (oracle layer 5) reschedules the
+    /// kernel under. Sampled from the builtins by [`random_case`];
+    /// [`MachineModel::unconstrained`] makes layer 5 a pure differential
+    /// test against the retiming solvers.
+    pub machine: MachineModel,
 }
 
 impl fmt::Display for Case {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: |V|={} |E|={} n={} f={} {} {:?}",
+            "{}: |V|={} |E|={} n={} f={} {} {:?} machine={}",
             self.label,
             self.graph.node_count(),
             self.graph.edge_count(),
             self.n,
             self.f,
             self.order,
-            self.mode
+            self.mode,
+            self.machine.name
         )
     }
 }
@@ -83,6 +90,10 @@ pub struct CaseConfig {
     pub max_trip: u64,
     /// Maximum unfolding factor.
     pub max_unfold: usize,
+    /// Pin every case to this machine instead of sampling one per case
+    /// (the `credc verify --machine` path). `None` samples uniformly
+    /// over the builtins.
+    pub machine: Option<MachineModel>,
 }
 
 impl Default for CaseConfig {
@@ -93,6 +104,7 @@ impl Default for CaseConfig {
             max_time: 3,
             max_trip: 40,
             max_unfold: 4,
+            machine: None,
         }
     }
 }
@@ -100,7 +112,9 @@ impl Default for CaseConfig {
 /// Draw one case from `rng`. Every free axis of the pipeline is sampled:
 /// graph shape and delay/timing distributions, trip count (biased toward
 /// degenerate `n <= 2` a quarter of the time), unfolding factor,
-/// transformation order, and decrement mode.
+/// transformation order, decrement mode, and the machine model the exact
+/// scheduler runs under (uniform over the builtins, so a quarter of all
+/// cases exercise the pure retiming-differential path).
 pub fn random_case(rng: &mut impl Rng, label: String, cfg: &CaseConfig) -> Case {
     let nodes = rng.random_range(1..=cfg.max_nodes);
     let dfg_cfg = RandomDfgConfig {
@@ -133,6 +147,11 @@ pub fn random_case(rng: &mut impl Rng, label: String, cfg: &CaseConfig) -> Case 
         } else {
             DecMode::Bulk
         },
+        machine: cfg.machine.clone().unwrap_or_else(|| {
+            let names = MachineModel::BUILTIN_NAMES;
+            let pick = rng.random_range(0..names.len());
+            MachineModel::builtin(names[pick]).expect("builtin names resolve")
+        }),
     }
 }
 
@@ -143,6 +162,19 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
+    fn pinned_machine_overrides_sampling() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = CaseConfig {
+            machine: MachineModel::builtin("vliw2"),
+            ..CaseConfig::default()
+        };
+        for i in 0..20 {
+            let c = random_case(&mut rng, format!("c{i}"), &cfg);
+            assert_eq!(c.machine.name, "vliw2");
+        }
+    }
+
+    #[test]
     fn cases_are_deterministic_per_seed() {
         let cfg = CaseConfig::default();
         let a = random_case(&mut StdRng::seed_from_u64(3), "t".into(), &cfg);
@@ -150,6 +182,7 @@ mod tests {
         assert_eq!(a.n, b.n);
         assert_eq!(a.f, b.f);
         assert_eq!(a.order, b.order);
+        assert_eq!(a.machine, b.machine);
         assert_eq!(a.graph.node_count(), b.graph.node_count());
         assert_eq!(a.graph.edge_count(), b.graph.edge_count());
     }
@@ -159,6 +192,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let cfg = CaseConfig::default();
         let mut orders = (false, false);
+        let mut machines = [false; 4];
         for i in 0..50 {
             let c = random_case(&mut rng, format!("c{i}"), &cfg);
             assert!(c.graph.validate().is_ok());
@@ -167,7 +201,16 @@ mod tests {
                 TransformOrder::RetimeUnfold => orders.0 = true,
                 TransformOrder::UnfoldRetime => orders.1 = true,
             }
+            let mi = MachineModel::BUILTIN_NAMES
+                .iter()
+                .position(|&n| n == c.machine.name)
+                .expect("sampled machine is a builtin");
+            machines[mi] = true;
         }
         assert!(orders.0 && orders.1);
+        assert!(
+            machines.iter().all(|&m| m),
+            "50 cases must cover every builtin machine: {machines:?}"
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! The chaos harness: replay the four-layer differential oracle under
+//! The chaos harness: replay the five-layer differential oracle under
 //! randomly sampled fault plans and prove the pipeline *fails well*.
 //!
 //! Each chaos case runs twice: once fault-free (the baseline — the suite
@@ -232,7 +232,7 @@ mod tests {
             "silent corruptions: {:#?}",
             report.corruptions()
         );
-        // With a 40% arming probability across 9 sites, faults must
+        // With a 40% arming probability across 10 sites, faults must
         // actually land — an all-clean report would mean the injection
         // machinery is dead, not that the pipeline is invincible.
         assert!(
@@ -280,10 +280,37 @@ mod tests {
             f: 2,
             order: TransformOrder::RetimeUnfold,
             mode: DecMode::Bulk,
+            machine: cred_exact::MachineModel::unconstrained(),
         };
         let _guard = install(ChaosPlan::new().trip(sites::VM_EXEC, FaultAction::Error));
         let err = verify_case(&case).unwrap_err();
         assert!(err.detail.contains(sites::VM_EXEC), "{err}");
+    }
+
+    #[test]
+    fn exact_branch_injection_surfaces_as_typed_degradation() {
+        use crate::case::TransformOrder;
+        use crate::oracle::FailureKind;
+        use cred_codegen::DecMode;
+        use cred_dfg::gen;
+        let case = crate::Case {
+            label: "exact-inject".into(),
+            graph: gen::chain_with_feedback(5, 2),
+            n: 17,
+            f: 2,
+            order: TransformOrder::RetimeUnfold,
+            mode: DecMode::Bulk,
+            // A constrained machine forces real branch-and-bound work, so
+            // the armed site is guaranteed to be reached.
+            machine: cred_exact::MachineModel::builtin("scalar").unwrap(),
+        };
+        // The oracle's exact layer runs under a budget, so an injected
+        // error at the branch site must come back as a *typed* fifth-layer
+        // failure naming the site — never a panic, never a wrong answer.
+        let _guard = install(ChaosPlan::new().trip(sites::EXACT_BRANCH, FaultAction::Error));
+        let err = verify_case(&case).unwrap_err();
+        assert_eq!(err.kind, FailureKind::Exact, "{err}");
+        assert!(err.detail.contains(sites::EXACT_BRANCH), "{err}");
     }
 
     #[test]
@@ -298,6 +325,7 @@ mod tests {
             f: 2,
             order: TransformOrder::RetimeUnfold,
             mode: DecMode::Bulk,
+            machine: cred_exact::MachineModel::unconstrained(),
         };
         // The oracle's default executor lowers through the tape compiler,
         // so a fault armed at its entry must surface as a typed

@@ -10,6 +10,7 @@
 //! f 2
 //! order retime-unfold
 //! mode bulk
+//! machine scalar
 //! node A 1 add 0
 //! node B 1 scl 3 7
 //! edge 0 1 2
@@ -19,10 +20,19 @@
 //! (so `edge` lines can refer to nodes by index); the mnemonics are
 //! [`OpKind::mnemonic`] with one constant (`add sub mul mac inp`) or two
 //! (`scl sml`).
+//!
+//! The optional `machine` line selects the model the exact scheduler
+//! (oracle layer 5) reschedules the kernel under: either a builtin name
+//! (`unconstrained scalar vliw2 vliw4`) or the inline form
+//! `machine custom <name> <issue-width> <alu-units> <mac-units>
+//! <alu-latency> <mac-latency>` with `-` for unlimited / no override.
+//! Files predating the directive parse as `unconstrained`, and an
+//! unconstrained machine round-trips to no line at all.
 
 use crate::case::{Case, TransformOrder};
 use cred_codegen::DecMode;
-use cred_dfg::{Dfg, OpKind};
+use cred_dfg::{Dfg, OpClass, OpKind};
+use cred_exact::MachineModel;
 use std::fs;
 use std::path::Path;
 
@@ -45,6 +55,10 @@ pub fn to_text(case: &Case) -> String {
             DecMode::Bulk => "bulk",
         }
     ));
+    if let Some(line) = machine_line(&case.machine) {
+        s.push_str(&line);
+        s.push('\n');
+    }
     for v in g.node_ids() {
         let nd = g.node(v);
         debug_assert!(
@@ -77,6 +91,61 @@ pub fn to_text(case: &Case) -> String {
         ));
     }
     s
+}
+
+/// Render the `machine` directive for `m`, or `None` when the default
+/// (unconstrained) applies and the line is omitted.
+fn machine_line(m: &MachineModel) -> Option<String> {
+    if m.is_unconstrained() {
+        return None;
+    }
+    // A machine that is exactly a builtin round-trips by name; anything
+    // else uses the inline form so nothing is lost.
+    if MachineModel::builtin(&m.name).as_ref() == Some(m) {
+        return Some(format!("machine {}", m.name));
+    }
+    let opt = |v: Option<u32>| v.map_or("-".to_string(), |x| x.to_string());
+    Some(format!(
+        "machine custom {} {} {} {} {} {}",
+        m.name,
+        opt(m.issue_width),
+        opt(m.units(OpClass::Alu)),
+        opt(m.units(OpClass::Mac)),
+        opt(m.latency_override(OpClass::Alu)),
+        opt(m.latency_override(OpClass::Mac)),
+    ))
+}
+
+fn parse_machine(fields: &[&str]) -> Result<MachineModel, String> {
+    match fields {
+        [name] => MachineModel::builtin(name)
+            .ok_or_else(|| format!("unknown builtin machine {name:?}")),
+        ["custom", name, iw, alu_u, mac_u, alu_l, mac_l] => {
+            let opt = |s: &str| -> Result<Option<u32>, String> {
+                if s == "-" {
+                    return Ok(None);
+                }
+                let v: u32 = s.parse().map_err(|_| format!("bad machine field {s:?}"))?;
+                if v == 0 {
+                    return Err("machine fields must be positive".into());
+                }
+                Ok(Some(v))
+            };
+            let mut m = MachineModel::unconstrained();
+            m.name = name.to_string();
+            m.issue_width = opt(iw)?;
+            m.set_units(OpClass::Alu, opt(alu_u)?);
+            m.set_units(OpClass::Mac, opt(mac_u)?);
+            m.set_latency(OpClass::Alu, opt(alu_l)?);
+            m.set_latency(OpClass::Mac, opt(mac_l)?);
+            Ok(m)
+        }
+        _ => Err(
+            "expected `machine <builtin>` or `machine custom <name> <iw> \
+             <alu-units> <mac-units> <alu-latency> <mac-latency>`"
+                .into(),
+        ),
+    }
 }
 
 fn parse_op(mnemonic: &str, consts: &[&str]) -> Result<OpKind, String> {
@@ -124,6 +193,7 @@ pub fn from_text(text: &str, label: &str) -> Result<Case, String> {
     let mut f = None;
     let mut order = None;
     let mut mode = None;
+    let mut machine = None;
     let mut g = Dfg::new();
     let mut ids = Vec::new();
     for (ln, raw) in lines {
@@ -165,6 +235,12 @@ pub fn from_text(text: &str, label: &str) -> Result<Case, String> {
                     Some("bulk") => DecMode::Bulk,
                     other => return Err(err(format!("unknown mode {other:?}"))),
                 })
+            }
+            "machine" => {
+                if machine.is_some() {
+                    return Err(err("duplicate machine line".into()));
+                }
+                machine = Some(parse_machine(&fields[1..]).map_err(err)?);
             }
             "node" => {
                 if fields.len() < 4 {
@@ -209,6 +285,7 @@ pub fn from_text(text: &str, label: &str) -> Result<Case, String> {
         f: f.ok_or("missing `f` line")?,
         order: order.ok_or("missing `order` line")?,
         mode: mode.ok_or("missing `mode` line")?,
+        machine: machine.unwrap_or_else(MachineModel::unconstrained),
     })
 }
 
@@ -268,8 +345,41 @@ mod tests {
             assert_eq!(back.f, c.f);
             assert_eq!(back.order, c.order);
             assert_eq!(back.mode, c.mode);
+            assert_eq!(back.machine, c.machine);
             assert_eq!(back.graph.fingerprint(), c.graph.fingerprint());
         }
+    }
+
+    #[test]
+    fn machine_directive_round_trips_and_defaults() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let base = random_case(&mut rng, "m".into(), &CaseConfig::default());
+
+        // No directive at all => unconstrained.
+        let mut c = base.clone();
+        c.machine = MachineModel::unconstrained();
+        let text = to_text(&c);
+        assert!(!text.contains("machine"), "{text}");
+        assert!(from_text(&text, "m").unwrap().machine.is_unconstrained());
+
+        // Builtins round-trip by name.
+        let mut c = base.clone();
+        c.machine = MachineModel::builtin("vliw2").unwrap();
+        let text = to_text(&c);
+        assert!(text.contains("machine vliw2"), "{text}");
+        assert_eq!(from_text(&text, "m").unwrap().machine, c.machine);
+
+        // A custom machine round-trips through the inline form.
+        let mut m = MachineModel::unconstrained();
+        m.name = "bench".into();
+        m.issue_width = Some(3);
+        m.set_units(cred_dfg::OpClass::Mac, Some(1));
+        m.set_latency(cred_dfg::OpClass::Mac, Some(2));
+        let mut c = base.clone();
+        c.machine = m.clone();
+        let text = to_text(&c);
+        assert!(text.contains("machine custom bench 3 - 1 - 2"), "{text}");
+        assert_eq!(from_text(&text, "m").unwrap().machine, m);
     }
 
     #[test]
@@ -283,6 +393,11 @@ mod tests {
             ok.replace("node A 1 add 0", "node A 1 add").as_str(),
             ok.replace("n 3\n", "").as_str(),
             ok.replace("edge 0 0 1", "edge 0 0 0").as_str(), // zero-delay self-loop
+            ok.replace("mode bulk", "mode bulk\nmachine dsp56k").as_str(),
+            ok.replace("mode bulk", "mode bulk\nmachine custom x 0 - - - -")
+                .as_str(),
+            ok.replace("mode bulk", "mode bulk\nmachine scalar\nmachine vliw2")
+                .as_str(),
         ] {
             assert!(from_text(broken, "x").is_err(), "{broken}");
         }

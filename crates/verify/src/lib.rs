@@ -3,7 +3,7 @@
 //! Fuzzes the whole transformation pipeline: random executable DFGs are
 //! pushed through retiming, unfolding, code generation, and CRED collapse
 //! in both transformation orders, executed on the strict `cred-vm`, and
-//! checked against four independent predictions (see [`oracle`]):
+//! checked against five independent predictions (see [`oracle`]):
 //! closed-form static sizes ([`cred_codegen::ExpectedCounts`]), the DFG
 //! recurrence ([`cred_dfg::Dfg::reference_execution`]), closed-form
 //! dynamic counts, and the guard-state trace — plus the paper's theorem

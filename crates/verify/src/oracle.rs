@@ -1,6 +1,6 @@
 //! The differential oracle: run one [`Case`] through every generator its
 //! transformation order covers, execute the results on `cred-vm`, and
-//! check four independent layers of predictions:
+//! check five independent layers of predictions:
 //!
 //! 1. **static** — code size, compute count, register count, and trip
 //!    count against `cred-codegen`'s closed-form [`ExpectedCounts`];
@@ -12,7 +12,17 @@
 //!    VM against the same closed forms (Theorems 4.1/4.2/4.6);
 //! 4. **trace** — the guard-state dry run ([`trace_loop`]) must agree
 //!    with both the static schedule (`trip * body computes` events) and
-//!    the dynamic counts.
+//!    the dynamic counts;
+//! 5. **exact** — the case's kernel is rescheduled from scratch by the
+//!    exact resource-constrained scheduler (`cred-exact`) under the
+//!    case's sampled [`MachineModel`]: the schedule must pass the
+//!    independent legality checker (window, resources, dependences), the
+//!    rejected-II ladder must be contiguous with an arithmetically
+//!    verified witness per rung (II-optimality), on an unconstrained
+//!    machine the II must be **bit-identical** to the retiming minimum
+//!    period, and the schedule's stage retiming is lowered into a
+//!    pipelined program and pushed through layers 1–4 like every other
+//!    generator.
 //!
 //! On top of the per-program checks, the paper's theorem checkers
 //! (`cred-core::theorems`, the S_ret / S_{r,f} / S_{f,r} size formulas)
@@ -24,7 +34,9 @@ use cred_codegen::pipeline::{original_program, pipelined_program};
 use cred_codegen::unfolded::{retime_unfold_program, unfold_retime_program};
 use cred_codegen::{ExpectedCounts, Inst, LoopProgram};
 use cred_core::theorems;
+use cred_exact::{check as exact_check, exact_schedule_budgeted};
 use cred_explore::cache::compute_plan;
+use cred_resilience::Budget;
 use cred_retime::min_period_retiming;
 use cred_unfold::unfold;
 use cred_vm::{execute, execute_tape, trace_loop, value_diff, DiffReport};
@@ -62,6 +74,10 @@ pub enum FailureKind {
     Trace,
     /// A `cred-core` theorem checker rejected the case.
     Theorem,
+    /// The exact scheduler's product failed re-validation: illegal
+    /// schedule, broken II ladder, bogus infeasibility witness, or a
+    /// period diverging from the retiming solvers.
+    Exact,
 }
 
 /// A rejected case: which program, which oracle layer, and a rendered
@@ -109,6 +125,9 @@ pub struct CaseReport {
     pub label: String,
     /// Minimum cycle period of the (unfolded) graph the pipeline found.
     pub period: u64,
+    /// Optimal initiation interval the exact scheduler proved for the
+    /// kernel under the case's machine model (layer 5).
+    pub exact_ii: u64,
     /// One entry per program the oracle generated and executed.
     pub programs: Vec<ProgramReport>,
 }
@@ -248,6 +267,84 @@ fn verify_program(
     })
 }
 
+/// Layer 5: reschedule the kernel exactly under the case's machine model
+/// and re-validate everything the solver claims. Returns the proven II
+/// and the [`ProgramReport`] of the pipelined program generated from the
+/// exact schedule's stage retiming (executed through layers 1–4).
+fn check_exact(
+    case: &Case,
+    reference: &[Vec<i64>],
+    executor: Executor,
+) -> Result<(u64, ProgramReport), VerifyFailure> {
+    let g = &case.graph;
+    let m = &case.machine;
+    let fail = |detail: String| VerifyFailure {
+        program: "exact".into(),
+        kind: FailureKind::Exact,
+        detail,
+    };
+    // Budgeted entry so an armed `exact.branch` fail point surfaces as a
+    // typed degradation instead of a panic (the chaos harness depends on
+    // this; an unlimited budget itself never binds).
+    let sched = exact_schedule_budgeted(g, m, &Budget::unlimited())
+        .map_err(|e| fail(format!("search interrupted: {e}")))?;
+    exact_check::check_schedule(g, m, &sched)
+        .map_err(|e| fail(format!("illegal schedule at II {}: {e}", sched.ii)))?;
+    // II-optimality: the ladder below the achieved II must be complete,
+    // contiguous, and certified rung by rung.
+    if sched.rejected.len() as u64 != sched.ii - 1 {
+        return Err(fail(format!(
+            "II {} claimed optimal but only {} rungs were rejected",
+            sched.ii,
+            sched.rejected.len()
+        )));
+    }
+    for (i, rung) in sched.rejected.iter().enumerate() {
+        if rung.ii != i as u64 + 1 {
+            return Err(fail(format!(
+                "ladder not contiguous: rung {i} claims II {}",
+                rung.ii
+            )));
+        }
+        exact_check::check_witness(g, m, rung)
+            .map_err(|e| fail(format!("witness for II {}: {e}", rung.ii)))?;
+    }
+    // Differential agreement with the retiming solvers: bit-identical on
+    // an unconstrained machine, a hard lower bound whenever the machine
+    // keeps the paper's op times (resources only ever push the II up).
+    let no_overrides = cred_dfg::OpClass::ALL
+        .iter()
+        .all(|&c| m.latency_override(c).is_none());
+    if no_overrides {
+        let opt = min_period_retiming(g);
+        if m.is_unconstrained() && sched.ii != opt.period {
+            return Err(fail(format!(
+                "unconstrained II {} != retiming min period {}",
+                sched.ii, opt.period
+            )));
+        }
+        if sched.ii < opt.period {
+            return Err(fail(format!(
+                "II {} beats the resource-free lower bound {}",
+                sched.ii, opt.period
+            )));
+        }
+    }
+    // Lower the exact schedule into the code-generation pipeline: its
+    // stage retiming must be a legal retiming, and the pipelined program
+    // built from it must survive the four VM-facing layers like any
+    // other generator's output.
+    let r = sched.stage_retiming();
+    if !r.is_legal(g) {
+        return Err(fail("stage retiming is not a legal retiming".into()));
+    }
+    let mut p = pipelined_program(g, &r, case.n);
+    p.name = "exact-pipelined".into();
+    let expect = ExpectedCounts::pipelined(g, &r, case.n);
+    let report = verify_program(case, &p, &expect, reference, executor, false)?;
+    Ok((sched.ii, report))
+}
+
 fn check_theorems(case: &Case) -> Result<(), VerifyFailure> {
     let g = &case.graph;
     let (n, f) = (case.n, case.f);
@@ -328,12 +425,21 @@ fn verify_case_with(
             mutate.is_some(),
         )?);
     }
-    if mutate.is_none() {
+    // Layer 5 and the theorem checkers regenerate their own programs, so
+    // a program mutator cannot reach them — skip both under mutation
+    // (the exact layer has its own mutation hook inside the solver).
+    let exact_ii = if mutate.is_none() {
+        let (ii, exact_report) = check_exact(case, &reference, executor)?;
+        reports.push(exact_report);
         check_theorems(case)?;
-    }
+        ii
+    } else {
+        0
+    };
     Ok(CaseReport {
         label: case.label.clone(),
         period,
+        exact_ii,
         programs: reports,
     })
 }
@@ -344,6 +450,7 @@ mod tests {
     use crate::case::{random_case, CaseConfig};
     use cred_codegen::DecMode;
     use cred_dfg::gen;
+    use cred_exact::MachineModel;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -355,6 +462,7 @@ mod tests {
             f: 2,
             order,
             mode: DecMode::Bulk,
+            machine: MachineModel::unconstrained(),
         }
     }
 
@@ -405,6 +513,30 @@ mod tests {
             ),
             "{err}"
         );
+    }
+
+    #[test]
+    fn exact_layer_runs_on_every_machine() {
+        // The same kernel rescheduled under every builtin: the scalar
+        // machine must serialize the five ops (II = 5 on a 5-node chain
+        // with issue width 1), while unconstrained matches the retiming
+        // period; every report carries the exact-pipelined program.
+        for name in MachineModel::BUILTIN_NAMES {
+            let mut case = chain_case(TransformOrder::RetimeUnfold);
+            case.machine = MachineModel::builtin(name).unwrap();
+            let rep = verify_case(&case).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(rep.exact_ii >= 1, "{name}");
+            assert!(
+                rep.programs.iter().any(|p| p.name == "exact-pipelined"),
+                "{name}: {rep:?}"
+            );
+            if name == "scalar" {
+                assert_eq!(rep.exact_ii, 5, "width-1 machine must serialize");
+            }
+            if name == "unconstrained" {
+                assert_eq!(rep.exact_ii, min_period_retiming(&case.graph).period);
+            }
+        }
     }
 
     #[test]

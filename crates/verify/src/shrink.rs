@@ -127,6 +127,15 @@ fn candidates(case: &Case) -> Vec<Case> {
     if g.node_ids().any(|v| op_complexity(g.node(v).op) > 0) {
         push_graph(with_nodes(g, |t, _| (t, OpKind::Add(0))));
     }
+    // Relax the machine model to unconstrained (keeps failures that only
+    // need the dependence structure machine-free; resource-dependent
+    // failures simply reject the edit).
+    if !case.machine.is_unconstrained() {
+        out.push(Case {
+            machine: cred_exact::MachineModel::unconstrained(),
+            ..case.clone()
+        });
+    }
     // Shrink the pipeline parameters.
     for f in [1, case.f / 2, case.f - 1] {
         if f >= 1 && f < case.f {
@@ -142,7 +151,8 @@ fn candidates(case: &Case) -> Vec<Case> {
 }
 
 /// Strictly-decreasing measure driving termination.
-fn measure(case: &Case) -> (usize, usize, usize, u64, u64, u64, u64) {
+#[allow(clippy::type_complexity)]
+fn measure(case: &Case) -> (usize, usize, usize, u64, u64, u64, u64, u64) {
     let g = &case.graph;
     (
         g.node_count(),
@@ -154,6 +164,9 @@ fn measure(case: &Case) -> (usize, usize, usize, u64, u64, u64, u64) {
         g.node_ids()
             .map(|v| op_complexity(g.node(v).op) as u64)
             .sum(),
+        // Constrained machines rank above unconstrained so the machine
+        // relaxation edit strictly decreases the measure.
+        u64::from(!case.machine.is_unconstrained()),
     )
 }
 
@@ -192,6 +205,7 @@ mod tests {
             f: 3,
             order: TransformOrder::RetimeUnfold,
             mode: DecMode::Bulk,
+            machine: cred_exact::MachineModel::unconstrained(),
         }
     }
 

@@ -1,0 +1,103 @@
+//! Replay of the resource-constrained corpus entries: every committed
+//! machine-tagged `.case` file is rescheduled by the exact solver, and
+//! this test pins the II it must prove optimal and the shape of the
+//! infeasibility witness on the topmost rejected rung. A solver change
+//! that shifts any recorded II or downgrades a closed-form certificate
+//! to a brute-force `Exhausted` one fails here, not silently in CI.
+
+use cred_exact::{check, exact_schedule, Infeasible};
+use cred_retime::min_period_retiming;
+use cred_verify::corpus;
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// Coarse witness shape for pinning (the full arithmetic is re-checked
+/// by `check_witness` on every rung).
+fn witness_tag(w: &Infeasible) -> &'static str {
+    match w {
+        Infeasible::OpExceedsWindow { .. } => "window",
+        Infeasible::ResourceCap { .. } => "resource-cap",
+        Infeasible::IssueWidth { .. } => "issue-width",
+        Infeasible::CriticalCycle { .. } => "critical-cycle",
+        Infeasible::Exhausted { .. } => "exhausted",
+    }
+}
+
+#[test]
+fn machine_corpus_replays_with_recorded_ii_and_witness() {
+    // stem -> (proven-optimal II, witness tag of the last rejected rung).
+    let expected: &[(&str, u64, &str)] = &[
+        ("scalar-parallel-loops", 2, "issue-width"),
+        ("scalar-mac-chain", 3, "resource-cap"),
+        ("scalar-issue-bound", 3, "issue-width"),
+        ("vliw2-mac-latency", 2, "window"),
+        ("vliw2-mixed", 4, "resource-cap"),
+        // II 2 satisfies every closed-form screen (occupancy 3 <= 4,
+        // issue 6 <= 8, cycle 6 <= 6) but the alternating zero-delay
+        // chain forces all three ops of one class into the same slot —
+        // only the search itself can prove that, so the witness is the
+        // certificate-by-search.
+        ("vliw4-balanced", 3, "exhausted"),
+        // The custom latency override stretches the mac to 2 cycles, so
+        // II 1 already fails the per-op window screen.
+        ("custom-tight", 2, "window"),
+        ("scalar-unfold-retime", 4, "issue-width"),
+        ("vliw2-percopy", 4, "critical-cycle"),
+        // Same shape as vliw4-balanced one size up: at II 2 the ring's
+        // strict slot alternation puts all four ops of each class in one
+        // slot, which only the search can rule out.
+        ("vliw4-wide-ring", 3, "exhausted"),
+    ];
+    for &(stem, want_ii, want_tag) in expected {
+        let path = corpus_dir().join(format!("{stem}.case"));
+        let case = corpus::load_case(&path).unwrap_or_else(|e| panic!("{stem}: {e}"));
+        assert!(
+            !case.machine.is_unconstrained(),
+            "{stem}: expected a resource-constrained corpus entry"
+        );
+        let sched = exact_schedule(&case.graph, &case.machine);
+        assert_eq!(sched.ii, want_ii, "{stem}: II drifted");
+        check::check_schedule(&case.graph, &case.machine, &sched)
+            .unwrap_or_else(|e| panic!("{stem}: {e}"));
+        assert_eq!(sched.rejected.len() as u64, sched.ii - 1, "{stem}");
+        for rung in &sched.rejected {
+            check::check_witness(&case.graph, &case.machine, rung)
+                .unwrap_or_else(|e| panic!("{stem} II {}: {e}", rung.ii));
+        }
+        let last = sched
+            .rejected
+            .last()
+            .unwrap_or_else(|| panic!("{stem}: II 1 accepted, no witness to pin"));
+        assert_eq!(
+            witness_tag(&last.witness),
+            want_tag,
+            "{stem}: witness at II {} is {:?}",
+            last.ii,
+            last.witness
+        );
+    }
+}
+
+/// At least one committed case must show the headline phenomenon: a
+/// machine whose exact II strictly exceeds the retiming-only minimum
+/// period — resources, not dependences, set the rate.
+#[test]
+fn corpus_contains_resource_bound_kernels() {
+    let mut strictly_above = 0;
+    for case in corpus::load_dir(&corpus_dir()).unwrap() {
+        if case.machine.is_unconstrained() {
+            continue;
+        }
+        let sched = exact_schedule(&case.graph, &case.machine);
+        if sched.ii > min_period_retiming(&case.graph).period {
+            strictly_above += 1;
+        }
+    }
+    assert!(
+        strictly_above >= 1,
+        "no committed case has exact II strictly above the retiming period"
+    );
+}

@@ -37,6 +37,7 @@ fn stress_axes_beyond_defaults_are_clean() {
             max_time: 4,
             max_trip: 60,
             max_unfold: 6,
+            machine: None,
         },
         shrink_failures: false,
         executor: Executor::Tape,

@@ -1,0 +1,70 @@
+//! Mutation test for the exact scheduler's reservation tables.
+//!
+//! `cred_exact::hooks::RESERVATION_SLACK` injects an off-by-one into the
+//! solver's per-class conflict check: with slack 1 the search believes
+//! every functional-unit class has one more unit than the machine model
+//! declares, so it packs ops the real machine cannot issue together.
+//! The fifth oracle layer re-validates every schedule with the
+//! *independent* checker in `cred_exact::check` (which never reads the
+//! hook), so the fuzzer must catch the mutant — and the greedy shrinker
+//! must reduce the kill to a handful of nodes, mirroring the PR 3
+//! guard-offset mutation test for the code generators.
+//!
+//! The hook is a process-global atomic, so this test lives alone in its
+//! own integration-test binary: `cargo test` gives each test file its
+//! own process, and nothing else here can observe the armed mutant.
+
+use cred_verify::{fuzz_suite, FailureKind, FuzzConfig};
+use std::sync::atomic::Ordering;
+
+/// Restore the hook even if an assertion unwinds.
+struct SlackGuard;
+impl Drop for SlackGuard {
+    fn drop(&mut self) {
+        cred_exact::hooks::RESERVATION_SLACK.store(0, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn reservation_off_by_one_is_caught_and_shrinks_small() {
+    cred_exact::hooks::RESERVATION_SLACK.store(1, Ordering::SeqCst);
+    let _guard = SlackGuard;
+
+    let report = fuzz_suite(&FuzzConfig {
+        cases: 300,
+        seed: 0,
+        shrink_failures: true,
+        ..FuzzConfig::default()
+    });
+    // The mutant must be killed, and by the layer that owns it.
+    let kill = report
+        .failures
+        .iter()
+        .find(|f| f.error.kind == FailureKind::Exact)
+        .unwrap_or_else(|| {
+            panic!(
+                "reservation off-by-one survived 300 fuzz cases ({} other failures)",
+                report.failures.len()
+            )
+        });
+    // Every failure in this run is the mutant's doing — no other layer
+    // may misattribute it.
+    for f in &report.failures {
+        assert_eq!(f.error.kind, FailureKind::Exact, "{}: {}", f.case, f.error);
+    }
+    // The shrinker reduces the kill to a tiny reproducer: a couple of
+    // same-class ops on a constrained machine is all it takes.
+    let (small, small_err) = kill.shrunk.as_ref().expect("shrinking was requested");
+    assert_eq!(small_err.kind, FailureKind::Exact, "{small_err}");
+    assert!(
+        small.graph.node_count() <= 4,
+        "shrunk reproducer still has {} nodes: {small}",
+        small.graph.node_count()
+    );
+    // Slack only matters when a per-class cap exists, so the minimized
+    // case must have kept its machine constraint.
+    assert!(
+        !small.machine.is_unconstrained(),
+        "shrunk case lost the machine constraint: {small}"
+    );
+}
