@@ -9,6 +9,7 @@
 //! credc verify   [options]                        differential fuzzing
 //! credc chaos    [options]                        fault-injection replay
 //! credc serve    [options]                        evaluation server
+//! credc call     [options]                        one request to a server
 //! ```
 //!
 //! Options for `reduce`:
@@ -61,6 +62,18 @@
 //!                    server sheds with a typed `overloaded` error
 //!                    (default 512)
 //!   --metrics-dump F write a final metrics snapshot to F on shutdown
+//!   --idle-timeout-ms I      close connections idle between requests for
+//!                            I ms (default 60000; 0 disables)
+//!   --progress-timeout-ms P  close connections that sit on a partial
+//!                            request line or an undrainable response for
+//!                            P ms (default 10000; 0 disables)
+//! Options for `call` (send one NDJSON request line through the resilient
+//! retrying client and print the response line; exit 1 when every retry
+//! is exhausted):
+//!   --addr A        server address (default 127.0.0.1:7878)
+//!   --line L        the request line (default {"type":"ping"})
+//!   --attempts N    retry budget across reconnects (default 24)
+//!   --timeout-ms T  per-attempt read timeout (default 5000)
 //!
 //! Exit codes: 0 success, 1 error/failure, 2 degraded (under `--strict`).
 
@@ -70,7 +83,7 @@ use cred_core::{CodeSizeReducer, ReducerConfig};
 use cred_dfg::{algo, Dfg};
 use cred_explore::ExploreRequest;
 use cred_schedule::{list_schedule, rotation_schedule, FuConfig};
-use cred_service::{Server, ServiceConfig};
+use cred_service::{ClientConfig, ResilientClient, Server, ServiceConfig};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -601,6 +614,21 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             default.is_dir().then_some(default)
         }
     };
+    // Lifecycle deadlines: 0 disables a clock, absent keeps the default.
+    let defaults = ServiceConfig::default();
+    let lifecycle = |name: &str, default: Option<Duration>| -> Result<Option<Duration>, String> {
+        match args.get(name) {
+            None => Ok(default),
+            Some(v) => {
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--{name}: bad number '{v}'"))?;
+                Ok((ms > 0).then(|| Duration::from_millis(ms)))
+            }
+        }
+    };
+    let idle_timeout = lifecycle("idle-timeout-ms", defaults.idle_timeout)?;
+    let progress_timeout = lifecycle("progress-timeout-ms", defaults.progress_timeout)?;
     let server = Server::bind(ServiceConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         workers,
@@ -609,7 +637,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         kernels_dir,
         metrics_dump: args.get("metrics-dump").map(std::path::PathBuf::from),
         max_in_flight,
-        ..ServiceConfig::default()
+        idle_timeout,
+        progress_timeout,
+        ..defaults
     })
     .map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
@@ -617,18 +647,54 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     server.run().map_err(|e| e.to_string())
 }
 
+/// `credc call`: one request line through the resilient client. The
+/// retry/backoff/breaker policy is the same one `loadgen` uses, so a
+/// scripted `credc call` survives the transient faults a bare `nc`
+/// would report as failures.
+fn cmd_call(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let line = args.get("line").unwrap_or("{\"type\":\"ping\"}");
+    let attempts = args.get_u64("attempts", 24)?;
+    if attempts < 1 {
+        return Err("--attempts must be at least 1".into());
+    }
+    let timeout_ms = args.get_u64("timeout-ms", 5000)?;
+    if timeout_ms < 1 {
+        return Err("--timeout-ms must be at least 1".into());
+    }
+    let mut client = ResilientClient::new(
+        addr,
+        ClientConfig {
+            max_attempts: attempts as u32,
+            read_timeout: Duration::from_millis(timeout_ms),
+            ..ClientConfig::default()
+        },
+    );
+    let response = client.request(line).map_err(|e| e.to_string())?;
+    println!("{}", response.trim_end());
+    let stats = client.stats();
+    if stats.retries > 0 {
+        eprintln!(
+            "credc call: delivered after {} retries ({} reconnects)",
+            stats.retries, stats.reconnects
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         return fail(
-            "usage: credc <analyze|reduce|explore|schedule|exact|verify|chaos|serve> <file.loop> [options]",
+            "usage: credc <analyze|reduce|explore|schedule|exact|verify|chaos|serve|call> <file.loop> [options]",
         );
     };
-    // `verify`, `chaos`, and `serve` take options but no input file.
-    if cmd == "verify" || cmd == "chaos" || cmd == "serve" {
+    // `verify`, `chaos`, `serve`, and `call` take options but no input file.
+    if cmd == "verify" || cmd == "chaos" || cmd == "serve" || cmd == "call" {
         let run = match cmd.as_str() {
             "verify" => cmd_verify,
             "chaos" => cmd_chaos,
+            "call" => cmd_call,
             _ => cmd_serve,
         };
         return match Args::parse(rest).and_then(|args| run(&args)) {

@@ -55,7 +55,12 @@ fn credc_exact_proves_ii_and_reads_machine_files() {
     assert!(stdout.contains("II 1: resource-cap"), "{stdout}");
     // Committed machine file by path; the II comes out identical to the
     // same model's builtin.
-    let out = run(&["exact", &kernel, "--machine", &format!("{root}/machines/scalar.mach")]);
+    let out = run(&[
+        "exact",
+        &kernel,
+        "--machine",
+        &format!("{root}/machines/scalar.mach"),
+    ]);
     assert!(out.status.success(), "{out:?}");
     assert!(
         String::from_utf8_lossy(&out.stdout).contains("proven minimum initiation interval: 8"),
@@ -78,7 +83,10 @@ fn credc_exact_proves_ii_and_reads_machine_files() {
 fn credc_verify_pins_machine_models() {
     let out = run(&["verify", "--cases", "25", "--machine", "vliw2"]);
     assert!(out.status.success(), "{out:?}");
-    assert_clean_failure(&run(&["verify", "--cases", "1", "--machine", "nope"]), "nope");
+    assert_clean_failure(
+        &run(&["verify", "--cases", "1", "--machine", "nope"]),
+        "nope",
+    );
 }
 
 fn run(args: &[&str]) -> std::process::Output {

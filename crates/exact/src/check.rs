@@ -53,9 +53,7 @@ pub fn check_schedule(g: &Dfg, m: &MachineModel, sched: &ExactSchedule) -> Resul
             for s in 0..ii as usize {
                 let used = occ[class.index() * ii as usize + s];
                 if used > units {
-                    return Err(format!(
-                        "slot {s} runs {used} {class} ops on {units} units"
-                    ));
+                    return Err(format!("slot {s} runs {used} {class} ops on {units} units"));
                 }
             }
         }
@@ -63,9 +61,7 @@ pub fn check_schedule(g: &Dfg, m: &MachineModel, sched: &ExactSchedule) -> Resul
     if let Some(width) = m.issue_width {
         for (s, &used) in issue.iter().enumerate() {
             if used > width {
-                return Err(format!(
-                    "slot {s} issues {used} ops on width {width}"
-                ));
+                return Err(format!("slot {s} issues {used} ops on width {width}"));
             }
         }
     }

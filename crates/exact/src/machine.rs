@@ -186,28 +186,27 @@ impl MachineModel {
                 continue;
             }
             let mut tok = line.split_whitespace();
-            let parse_count = |word: Option<&str>,
-                               what: &str|
-             -> Result<Option<u32>, MachineParseError> {
-                match word {
-                    Some("unlimited") => Ok(None),
-                    Some(w) => match w.parse::<u32>() {
-                        Ok(n) if n >= 1 => Ok(Some(n)),
-                        Ok(_) => Err(MachineParseError {
+            let parse_count =
+                |word: Option<&str>, what: &str| -> Result<Option<u32>, MachineParseError> {
+                    match word {
+                        Some("unlimited") => Ok(None),
+                        Some(w) => match w.parse::<u32>() {
+                            Ok(n) if n >= 1 => Ok(Some(n)),
+                            Ok(_) => Err(MachineParseError {
+                                line: lineno,
+                                msg: format!("{what} must be at least 1"),
+                            }),
+                            Err(_) => Err(MachineParseError {
+                                line: lineno,
+                                msg: format!("bad {what} {w:?}"),
+                            }),
+                        },
+                        None => Err(MachineParseError {
                             line: lineno,
-                            msg: format!("{what} must be at least 1"),
+                            msg: format!("missing {what}"),
                         }),
-                        Err(_) => Err(MachineParseError {
-                            line: lineno,
-                            msg: format!("bad {what} {w:?}"),
-                        }),
-                    },
-                    None => Err(MachineParseError {
-                        line: lineno,
-                        msg: format!("missing {what}"),
-                    }),
-                }
-            };
+                    }
+                };
             match tok.next() {
                 Some("name") => {
                     if seen_name {
@@ -344,10 +343,7 @@ mod tests {
         let mut d = b.clone();
         d.set_latency(OpClass::Mac, Some(2));
         assert_ne!(b.fingerprint(), d.fingerprint());
-        assert_ne!(
-            MachineModel::unconstrained().fingerprint(),
-            b.fingerprint()
-        );
+        assert_ne!(MachineModel::unconstrained().fingerprint(), b.fingerprint());
     }
 
     #[test]
@@ -373,9 +369,18 @@ mod tests {
             ("bad class", "# cred machine v1\nclass fpu units 1\n"),
             ("zero units", "# cred machine v1\nclass alu units 0\n"),
             ("missing units kw", "# cred machine v1\nclass alu 1\n"),
-            ("dup class", "# cred machine v1\nclass alu units 1\nclass alu units 2\n"),
-            ("dup width", "# cred machine v1\nissue-width 1\nissue-width 2\n"),
-            ("unlimited latency", "# cred machine v1\nclass mac units 1 latency unlimited\n"),
+            (
+                "dup class",
+                "# cred machine v1\nclass alu units 1\nclass alu units 2\n",
+            ),
+            (
+                "dup width",
+                "# cred machine v1\nissue-width 1\nissue-width 2\n",
+            ),
+            (
+                "unlimited latency",
+                "# cred machine v1\nclass mac units 1 latency unlimited\n",
+            ),
             ("trailing", "# cred machine v1\nissue-width 2 cores\n"),
         ];
         for (what, text) in cases {
@@ -385,10 +390,8 @@ mod tests {
 
     #[test]
     fn parse_accepts_comments_and_defaults() {
-        let m = MachineModel::parse(
-            "# cred machine v1\n\n# a comment\nclass mac units 1\n",
-        )
-        .unwrap();
+        let m =
+            MachineModel::parse("# cred machine v1\n\n# a comment\nclass mac units 1\n").unwrap();
         assert_eq!(m.name, "anonymous");
         assert_eq!(m.issue_width, None);
         assert_eq!(m.units(OpClass::Alu), None);

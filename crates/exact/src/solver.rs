@@ -118,7 +118,10 @@ impl fmt::Display for Infeasible {
                 class,
                 occupancy,
                 units,
-            } => write!(f, "resource-cap {class} occupancy {occupancy} units {units}"),
+            } => write!(
+                f,
+                "resource-cap {class} occupancy {occupancy} units {units}"
+            ),
             Infeasible::IssueWidth { ops, width } => {
                 write!(f, "issue-width ops {ops} width {width}")
             }
@@ -412,7 +415,8 @@ impl<'g> Searcher<'g> {
         let v = self.order[depth] as usize;
         let tv = self.t[v] as i64;
         for s in 0..=(ii as i64 - tv) {
-            failpoint::hit(sites::EXACT_BRANCH).map_err(|f| Exhausted::Injected { site: f.site })?;
+            failpoint::hit(sites::EXACT_BRANCH)
+                .map_err(|f| Exhausted::Injected { site: f.site })?;
             budget.charge(1)?;
             self.rung_branches += 1;
             if !self.reserve(v, s, ii) {

@@ -14,8 +14,8 @@ fn committed_machine_files_match_builtins() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../machines");
     for name in MachineModel::BUILTIN_NAMES {
         let path = dir.join(format!("{name}.mach"));
-        let text = fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        let text =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
         let parsed = MachineModel::parse(&text)
             .unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
         let builtin = MachineModel::builtin(name).unwrap();

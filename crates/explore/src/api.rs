@@ -216,7 +216,10 @@ impl ExploreRequest {
             // 0 = no exact pass requested; a requested machine keys by
             // its structural fingerprint, so two requests naming
             // different machines never share an exact summary.
-            self.opts.machine.as_ref().map_or(0, MachineModel::fingerprint),
+            self.opts
+                .machine
+                .as_ref()
+                .map_or(0, MachineModel::fingerprint),
         )
     }
 
@@ -326,9 +329,7 @@ fn exact_summary(g: &Dfg, m: &MachineModel, budget: &Budget) -> Result<ExactSumm
             return Err(CredError::BudgetExhausted(Exhausted::Cancelled))
         }
         Ok(Err(e)) => DegradeCause::Exhausted(e),
-        Err(payload) => {
-            DegradeCause::Panicked(cred_resilience::panic_message(payload.as_ref()))
-        }
+        Err(payload) => DegradeCause::Panicked(cred_resilience::panic_message(payload.as_ref())),
     };
     let event = DegradationEvent {
         site: format!("explore.exact machine={}", m.name),
@@ -642,10 +643,7 @@ mod tests {
             .unwrap();
         let exact = resp.exact.expect("machine was named");
         assert_eq!(exact.machine, "scalar");
-        assert_eq!(
-            exact.ii,
-            cred_exact::exact_schedule(&sample(), &m).ii
-        );
+        assert_eq!(exact.ii, cred_exact::exact_schedule(&sample(), &m).ii);
         assert!(exact.source.is_fast());
         // The unconstrained machine degenerates to the retiming minimum.
         let un = ExploreRequest::new(sample())

@@ -342,7 +342,9 @@ mod tests {
             let b = cy.nodes[(i + 1) % k] as usize;
             let w = cy.weights[i];
             assert!(
-                asserted.iter().any(|&(u, v, ww)| u == a && v == b && ww == w),
+                asserted
+                    .iter()
+                    .any(|&(u, v, ww)| u == a && v == b && ww == w),
                 "witness hop x_{b} - x_{a} >= {w} was never asserted"
             );
             total += w;
@@ -431,7 +433,9 @@ mod tests {
         // Tiny deterministic LCG; no external RNG needed here.
         let mut state = 0x12345678u64;
         let mut next = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         for _ in 0..200 {
@@ -465,10 +469,7 @@ mod tests {
         }
     }
 
-    fn dense_feasible(
-        n: usize,
-        cons: impl IntoIterator<Item = (usize, usize, i64)>,
-    ) -> bool {
+    fn dense_feasible(n: usize, cons: impl IntoIterator<Item = (usize, usize, i64)>) -> bool {
         let cons: Vec<_> = cons.into_iter().collect();
         let mut val = vec![0i64; n];
         for _ in 0..=cons.len() * n {

@@ -30,6 +30,16 @@
 //! latency histogram. `--assert-p99-ms` turns the run into a pass/fail
 //! check for CI. Exit status is nonzero on any failure, response
 //! mismatch, or a busted p99 assertion.
+//!
+//! `--chaos` turns the run into a fault-injection gauntlet: the clients
+//! talk to the server through an in-process [`ChaosProxy`] that splits,
+//! delays, stalls, resets, and garbles traffic under a seeded plan per
+//! connection (`--chaos-seed`), and every client runs
+//! connection-per-request through the [`ResilientClient`] retry stack.
+//! The oracle check is the point: every response the client *delivers*
+//! must still be bit-identical to the cold in-process solve — a single
+//! silent corruption fails the run — and after shutdown the server's
+//! close-reason counters must account for every accepted connection.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -41,7 +51,10 @@ use std::time::{Duration, Instant};
 
 use cred_explore::suite::{load_kernels, SCHEMA_VERSION};
 use cred_explore::{point_json, ExploreRequest};
-use cred_service::{Server, ServiceConfig};
+use cred_service::json::{self, Json};
+use cred_service::{
+    ChaosProxy, ChaosProxyConfig, ClientConfig, ClientStats, ResilientClient, Server, ServiceConfig,
+};
 
 /// Stack size for client threads: an open-loop run at 1000+ clients
 /// spawns two threads per client, so the default 8 MiB stacks would
@@ -68,6 +81,16 @@ struct Args {
     assert_p99_ms: Option<f64>,
     out: Option<PathBuf>,
     shutdown: bool,
+    /// Route traffic through a fault-injecting proxy and fail on any
+    /// silent corruption.
+    chaos: bool,
+    /// Base seed for the per-connection chaos plans.
+    chaos_seed: u64,
+    /// Per-fault arming probability (percent) for chaos plans.
+    chaos_trip: u32,
+    /// Where the spawned server writes its final metrics snapshot
+    /// (chaos mode verifies close-reason accounting from it).
+    metrics_dump: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -83,6 +106,10 @@ fn parse_args() -> Result<Args, String> {
         assert_p99_ms: None,
         out: None,
         shutdown: false,
+        chaos: false,
+        chaos_seed: 0,
+        chaos_trip: 25,
+        metrics_dump: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -133,11 +160,33 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             "--shutdown" => args.shutdown = true,
+            "--chaos" => args.chaos = true,
+            "--chaos-seed" => {
+                args.chaos_seed = value("--chaos-seed")?
+                    .parse()
+                    .map_err(|_| "--chaos-seed must be an integer".to_string())?
+            }
+            "--chaos-trip" => {
+                let trip: u32 = value("--chaos-trip")?
+                    .parse()
+                    .map_err(|_| "--chaos-trip must be an integer percent".to_string())?;
+                if trip > 100 {
+                    return Err("--chaos-trip must be 0..=100".to_string());
+                }
+                args.chaos_trip = trip;
+            }
+            "--metrics-dump" => args.metrics_dump = Some(PathBuf::from(value("--metrics-dump")?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     if args.clients < 1 || args.requests < 1 {
         return Err("--clients and --requests must be at least 1".to_string());
+    }
+    if args.chaos && args.rate.is_some() {
+        return Err("--chaos is closed-loop only (drop --rate)".to_string());
+    }
+    if args.chaos && args.addr.is_some() {
+        return Err("--chaos spawns its own server (drop --addr)".to_string());
     }
     Ok(args)
 }
@@ -151,6 +200,11 @@ struct ClientReport {
     /// Typed `overloaded` rejections.
     shed: u64,
     failures: Vec<String>,
+    /// Delivered responses whose bits differ from the cold solve — the
+    /// one thing a chaos run must never see.
+    corruptions: Vec<String>,
+    /// Retry-stack counters aggregated across the client's requests.
+    client_stats: ClientStats,
 }
 
 fn connect_with_retry(addr: &str) -> Result<TcpStream, String> {
@@ -194,7 +248,9 @@ fn check_response(
     Err(format!("request {id} failed: {}", resp.trim()))
 }
 
-/// Closed-loop client: send, wait, repeat.
+/// Closed-loop client on the resilient retry stack: send, wait, repeat.
+/// In chaos mode each request rides a fresh connection (and therefore a
+/// fresh fault plan); otherwise the connection is reused.
 #[allow(clippy::too_many_arguments)]
 fn client_closed_loop(
     addr: &str,
@@ -204,54 +260,48 @@ fn client_closed_loop(
     expected: &HashMap<String, String>,
     max_f: usize,
     n: u64,
+    chaos_seed: Option<u64>,
 ) -> ClientReport {
     let mut report = ClientReport::default();
-    let stream = match connect_with_retry(addr) {
-        Ok(s) => s,
-        Err(e) => {
-            report.failures.push(e);
-            return report;
-        }
+    let config = ClientConfig {
+        jitter_seed: chaos_seed.unwrap_or(0) ^ (client_id as u64) << 32,
+        ..ClientConfig::default()
     };
-    let mut reader = match stream.try_clone() {
-        Ok(clone) => BufReader::new(clone),
-        Err(e) => {
-            report.failures.push(e.to_string());
-            return report;
-        }
-    };
-    let mut stream = stream;
+    let mut client = ResilientClient::new(addr, config);
     for i in 0..requests {
         let name = &names[(client_id * requests + i) % names.len()];
         let id = format!("c{client_id}-{i}");
         let line = format!(
             "{{\"type\":\"explore\",\"id\":\"{id}\",\"kernel\":\"{name}\",\
-             \"max_f\":{max_f},\"n\":{n}}}\n"
+             \"max_f\":{max_f},\"n\":{n}}}"
         );
         let start = Instant::now();
-        if let Err(e) = stream.write_all(line.as_bytes()) {
-            report.failures.push(format!("write: {e}"));
-            return report;
-        }
-        let mut resp = String::new();
-        if let Err(e) = reader.read_line(&mut resp) {
-            report.failures.push(format!("read: {e}"));
-            return report;
-        }
+        let resp = match client.request(&line) {
+            Ok(resp) => resp,
+            Err(e) => {
+                report.failures.push(e.to_string());
+                continue;
+            }
+        };
         let latency = start.elapsed();
-        if resp.is_empty() {
-            report.failures.push("server closed the connection".into());
-            return report;
-        }
         match check_response(&resp, &id, name, expected) {
             Ok(true) => {
                 report.ok += 1;
                 report.latencies.push(latency.as_micros() as u64);
             }
             Ok(false) => report.shed += 1,
+            // The retry stack only delivers parsed, id-matched
+            // responses: a delivered "ok" with different bits is a
+            // silent corruption, the failure mode chaos runs exist to
+            // rule out.
+            Err(msg) if resp.contains("\"ok\":true") => report.corruptions.push(msg),
             Err(msg) => report.failures.push(msg),
         }
+        if chaos_seed.is_some() {
+            client.disconnect();
+        }
     }
+    report.client_stats = client.stats();
     report
 }
 
@@ -364,17 +414,49 @@ fn client_open_loop(
     report
 }
 
+/// One request on the retry stack (control-plane calls: stats,
+/// shutdown). Few attempts — these run against a server that is either
+/// healthy or going away.
 fn one_request(addr: &str, line: &str) -> Result<String, String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream
-        .write_all(line.as_bytes())
-        .map_err(|e| format!("write: {e}"))?;
-    let mut reader = BufReader::new(stream);
-    let mut resp = String::new();
-    reader
-        .read_line(&mut resp)
-        .map_err(|e| format!("read: {e}"))?;
-    Ok(resp.trim().to_string())
+    let mut client = ResilientClient::new(
+        addr,
+        ClientConfig {
+            max_attempts: 3,
+            ..ClientConfig::default()
+        },
+    );
+    client.request(line).map_err(|e| e.to_string())
+}
+
+/// Parse the server's final metrics snapshot and check the lifecycle
+/// invariant: every accepted connection ended in exactly one close
+/// reason. Returns the `conns` object as JSON for the report.
+fn verify_close_accounting(dump: &std::path::Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(dump)
+        .map_err(|e| format!("reading metrics dump {}: {e}", dump.display()))?;
+    let v = json::parse(&text).map_err(|e| format!("parsing metrics dump: {e}"))?;
+    let conns = v
+        .get("conns")
+        .ok_or_else(|| "metrics dump has no conns object".to_string())?;
+    let get = |k: &str| {
+        conns
+            .get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("metrics dump conns.{k} missing"))
+    };
+    let accepted = get("accepted")?;
+    let sum = get("closed_ok")?
+        + get("idle_closed")?
+        + get("slow_closed")?
+        + get("reset_by_peer")?
+        + get("drained")?;
+    if accepted != sum {
+        return Err(format!(
+            "close-reason accounting broken: {accepted} accepted but {sum} accounted: {}",
+            conns.to_compact()
+        ));
+    }
+    Ok(conns.to_compact())
 }
 
 /// Exact percentile over sorted microsecond latencies.
@@ -464,6 +546,16 @@ fn run(args: Args) -> Result<(), String> {
         .map(|i| kernel_cost[&names[i % names.len()]])
         .sum();
 
+    // Chaos mode checks close-reason accounting from the final metrics
+    // snapshot, so the spawned server always dumps one.
+    let dump_path = if args.chaos {
+        Some(args.metrics_dump.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("cred-loadgen-chaos-{}.json", std::process::id()))
+        }))
+    } else {
+        args.metrics_dump.clone()
+    };
+
     // Target server: the given address, or one spawned in-process.
     let (addr, server_thread) = match &args.addr {
         Some(addr) => (addr.clone(), None),
@@ -471,6 +563,7 @@ fn run(args: Args) -> Result<(), String> {
             let server = Server::bind(ServiceConfig {
                 addr: "127.0.0.1:0".to_string(),
                 kernels_dir: Some(args.kernels.clone()),
+                metrics_dump: dump_path.clone(),
                 ..ServiceConfig::default()
             })
             .map_err(|e| format!("spawning server: {e}"))?;
@@ -481,6 +574,30 @@ fn run(args: Args) -> Result<(), String> {
             (addr, Some(std::thread::spawn(move || server.run())))
         }
     };
+
+    // In chaos mode the clients talk through the fault-injecting proxy;
+    // control-plane calls (stats, shutdown) go straight to the server.
+    let proxy = if args.chaos {
+        let upstream = addr
+            .parse()
+            .map_err(|e| format!("parsing server addr {addr}: {e}"))?;
+        Some(
+            ChaosProxy::spawn(
+                upstream,
+                ChaosProxyConfig {
+                    seed: args.chaos_seed,
+                    trip_percent: args.chaos_trip,
+                    ..ChaosProxyConfig::default()
+                },
+            )
+            .map_err(|e| format!("spawning chaos proxy: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let client_addr = proxy
+        .as_ref()
+        .map_or_else(|| addr.clone(), |p| p.addr().to_string());
 
     let expected = Arc::new(expected);
     let names = Arc::new(names);
@@ -494,9 +611,10 @@ fn run(args: Args) -> Result<(), String> {
     // Give every client time to connect before the clock starts.
     let start_at = Instant::now() + Duration::from_millis(200 + (args.clients / 10) as u64);
     let serve_start = Instant::now();
+    let chaos_seed = args.chaos.then_some(args.chaos_seed);
     let handles: Vec<_> = (0..args.clients)
         .map(|c| {
-            let addr = addr.clone();
+            let addr = client_addr.clone();
             let names = Arc::clone(&names);
             let expected = Arc::clone(&expected);
             let (requests, max_f, n) = (args.requests, args.max_f, args.n);
@@ -515,7 +633,9 @@ fn run(args: Args) -> Result<(), String> {
                         interval,
                         tick * (c as u32),
                     ),
-                    None => client_closed_loop(&addr, c, requests, &names, &expected, max_f, n),
+                    None => client_closed_loop(
+                        &addr, c, requests, &names, &expected, max_f, n, chaos_seed,
+                    ),
                 })
                 .expect("spawning client thread")
         })
@@ -524,6 +644,8 @@ fn run(args: Args) -> Result<(), String> {
     let mut ok = 0u64;
     let mut shed = 0u64;
     let mut failures = Vec::new();
+    let mut corruptions = Vec::new();
+    let mut client_stats = ClientStats::default();
     for h in handles {
         match h.join() {
             Ok(mut r) => {
@@ -531,6 +653,13 @@ fn run(args: Args) -> Result<(), String> {
                 ok += r.ok;
                 shed += r.shed;
                 failures.append(&mut r.failures);
+                corruptions.append(&mut r.corruptions);
+                client_stats.attempts += r.client_stats.attempts;
+                client_stats.retries += r.client_stats.retries;
+                client_stats.reconnects += r.client_stats.reconnects;
+                client_stats.corrupt_responses += r.client_stats.corrupt_responses;
+                client_stats.overloaded_retries += r.client_stats.overloaded_retries;
+                client_stats.breaker_opens += r.client_stats.breaker_opens;
             }
             Err(_) => failures.push("client thread panicked".to_string()),
         }
@@ -547,6 +676,41 @@ fn run(args: Args) -> Result<(), String> {
             .map_err(|_| "server thread panicked".to_string())?
             .map_err(|e| format!("server: {e}"))?;
     }
+
+    // Chaos post-mortem: proxy injection counters, plus the server's
+    // close-reason accounting from its final metrics snapshot.
+    let chaos_json = match &proxy {
+        Some(p) => {
+            let ps = p.stats();
+            let dump = dump_path.as_ref().expect("chaos mode always dumps");
+            let accounting = verify_close_accounting(dump)?;
+            format!(
+                "{{ \"seed\": {}, \"trip_percent\": {}, \"plans_sampled\": {}, \
+                 \"faulted_connections\": {}, \"resets_injected\": {}, \
+                 \"garbage_injected\": {}, \"stalls_injected\": {}, \
+                 \"delays_injected\": {}, \"corruptions\": {}, \
+                 \"client\": {{ \"attempts\": {}, \"retries\": {}, \"reconnects\": {}, \
+                 \"corrupt_responses\": {}, \"overloaded_retries\": {}, \
+                 \"breaker_opens\": {} }}, \"close_accounting\": {accounting} }}",
+                args.chaos_seed,
+                args.chaos_trip,
+                ps.connections,
+                ps.faulted_connections,
+                ps.resets_injected,
+                ps.garbage_injected,
+                ps.stalls_injected,
+                ps.delays_injected,
+                corruptions.len(),
+                client_stats.attempts,
+                client_stats.retries,
+                client_stats.reconnects,
+                client_stats.corrupt_responses,
+                client_stats.overloaded_retries,
+                client_stats.breaker_opens,
+            )
+        }
+        None => "null".to_string(),
+    };
 
     latencies.sort_unstable();
     let baseline_rps = total as f64 / baseline_secs;
@@ -565,6 +729,7 @@ fn run(args: Args) -> Result<(), String> {
 
     let (mode, rate_json) = match args.rate {
         Some(r) => ("open-loop", format!("{r:.1}")),
+        None if args.chaos => ("chaos", "null".to_string()),
         None => ("closed-loop", "null".to_string()),
     };
     let report = format!(
@@ -577,7 +742,7 @@ fn run(args: Args) -> Result<(), String> {
          \"server\": {{ \"seconds\": {:.6}, \"rps\": {:.1}, \"p50_us\": {p50}, \
          \"p90_us\": {p90}, \"p99_us\": {p99}, \"max_us\": {max} }},\n  \
          \"latency_log2_buckets_us\": [{histogram_json}],\n  \
-         \"speedup\": {:.2},\n  \"server_stats\": {}\n}}\n",
+         \"speedup\": {:.2},\n  \"chaos\": {chaos_json},\n  \"server_stats\": {}\n}}\n",
         args.clients,
         args.requests,
         failures.len(),
@@ -600,9 +765,34 @@ fn run(args: Args) -> Result<(), String> {
     );
 
     println!(
-        "loadgen ({mode}): {total} requests, {ok} ok, {shed} shed, {} failed",
-        failures.len()
+        "loadgen ({mode}): {total} requests, {ok} ok, {shed} shed, {} failed, {} corrupted",
+        failures.len(),
+        corruptions.len()
     );
+    if let Some(p) = &proxy {
+        let ps = p.stats();
+        println!(
+            "  chaos (seed {}, trip {}%): {} plans sampled ({} faulted), \
+             {} resets, {} garbage, {} stalls, {} delays injected",
+            args.chaos_seed,
+            args.chaos_trip,
+            ps.connections,
+            ps.faulted_connections,
+            ps.resets_injected,
+            ps.garbage_injected,
+            ps.stalls_injected,
+            ps.delays_injected,
+        );
+        println!(
+            "  client retry stack: {} attempts, {} retries, {} reconnects, \
+             {} corrupt responses rejected, {} breaker opens",
+            client_stats.attempts,
+            client_stats.retries,
+            client_stats.reconnects,
+            client_stats.corrupt_responses,
+            client_stats.breaker_opens,
+        );
+    }
     println!(
         "  baseline (sequential, cold cache, sampled): {:>8.1} req/s",
         baseline_rps
@@ -616,6 +806,14 @@ fn run(args: Args) -> Result<(), String> {
     if let Some(out) = &args.out {
         std::fs::write(out, &report).map_err(|e| format!("writing {}: {e}", out.display()))?;
         println!("  wrote {}", out.display());
+    }
+    if !corruptions.is_empty() {
+        return Err(format!(
+            "{} SILENT CORRUPTION(S) — delivered responses differed from the cold solve; \
+             first: {}",
+            corruptions.len(),
+            corruptions[0]
+        ));
     }
     if !failures.is_empty() {
         return Err(format!(

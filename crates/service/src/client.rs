@@ -1,0 +1,513 @@
+//! A resilient caller for the evaluation service.
+//!
+//! The server speaks NDJSON over TCP and its `explore`/`stats` requests
+//! are idempotent: the same request line always produces the same
+//! response (PR 2's canonical-key cache makes repeats cheap). That makes
+//! aggressive retrying safe, and this module packages the full policy so
+//! `loadgen` and `credc` callers share one hardened path instead of each
+//! hand-rolling `TcpStream` loops:
+//!
+//! * **connect and read timeouts** — a stalled server or a chaosnet
+//!   stall fault turns into a typed attempt failure, never a hang;
+//! * **capped exponential backoff with deterministic jitter** — seeded
+//!   splitmix64, so a failing run reproduces byte-for-byte;
+//! * **idempotent retry keyed by request id** — every attempt resends
+//!   the *same* line on a *fresh* connection and the response must echo
+//!   the request's `id`, so a retry can never be satisfied by a stale
+//!   response from a half-dead stream;
+//! * **a circuit breaker** — after `breaker_threshold` consecutive
+//!   transport failures the client stops hammering the server for
+//!   `breaker_cooldown`, then lets a single half-open probe through.
+//!
+//! The client validates every response with the strict [`crate::json`]
+//! parser before handing it to the caller. Combined with chaosnet's
+//! control-byte garbage injection this closes the corruption loop: a
+//! corrupted frame fails parsing, fails the attempt, and is retried —
+//! it is never silently delivered.
+//!
+//! Application-level errors other than `overloaded` (unknown kernel,
+//! budget exceeded, …) are deterministic, so they are returned to the
+//! caller as successful deliveries rather than retried.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::json::{self, Json};
+
+/// Retry and timeout policy for a [`ResilientClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-attempt response read timeout.
+    pub read_timeout: Duration,
+    /// Total attempts per request (first try included).
+    pub max_attempts: u32,
+    /// First backoff delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+    /// Consecutive transport failures that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker blocks attempts before the half-open
+    /// probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(5),
+            max_attempts: 24,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            jitter_seed: 0,
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Why a request could not be delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The request line itself is not valid JSON — retrying cannot help
+    /// and nothing was sent.
+    BadRequest(String),
+    /// Every attempt failed; `last` describes the final failure.
+    Exhausted { attempts: u32, last: String },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::BadRequest(e) => write!(f, "bad request line: {e}"),
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "request failed after {attempts} attempt(s): {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Counters a client accumulates across requests (read after a run).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Attempts made (successful ones included).
+    pub attempts: u64,
+    /// Attempts that failed and were retried.
+    pub retries: u64,
+    /// Fresh connections established.
+    pub reconnects: u64,
+    /// Responses rejected by the strict parser or an id mismatch.
+    pub corrupt_responses: u64,
+    /// Typed `overloaded` sheds that were retried.
+    pub overloaded_retries: u64,
+    /// Times the circuit breaker opened.
+    pub breaker_opens: u64,
+}
+
+/// Circuit-breaker state: count consecutive transport failures, open for
+/// a cooldown once they cross the threshold, then let one probe through.
+#[derive(Debug, Default)]
+struct Breaker {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+/// A retrying NDJSON client for one server address. Not thread-safe —
+/// give each client thread its own instance (they are cheap: one socket
+/// and a few counters).
+pub struct ResilientClient {
+    addr: String,
+    config: ClientConfig,
+    conn: Option<BufReader<TcpStream>>,
+    breaker: Breaker,
+    jitter_state: u64,
+    stats: ClientStats,
+}
+
+impl ResilientClient {
+    pub fn new(addr: impl Into<String>, config: ClientConfig) -> ResilientClient {
+        let jitter_state = config.jitter_seed;
+        ResilientClient {
+            addr: addr.into(),
+            config,
+            conn: None,
+            breaker: Breaker::default(),
+            jitter_state,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Drop the current connection; the next request reconnects. Chaos
+    /// runs use this for connection-per-request traffic.
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    /// Deliver `line` (one NDJSON request; the trailing `\n` is added if
+    /// missing) and return the raw response line, trimmed.
+    ///
+    /// The request must be valid JSON. If it carries an `id`, every
+    /// response is required to echo it — attempts answered with a
+    /// different id (a stale response on a reused stream) count as
+    /// corrupt and are retried on a fresh connection.
+    pub fn request(&mut self, line: &str) -> Result<String, ClientError> {
+        let parsed = json::parse(line.trim_end_matches('\n')).map_err(ClientError::BadRequest)?;
+        let id = parsed.get("id").cloned();
+        let mut wire = line.trim_end_matches('\n').to_string();
+        wire.push('\n');
+
+        let mut last_failure = String::new();
+        for attempt in 0..self.config.max_attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                let jitter = self.next_jitter();
+                std::thread::sleep(backoff_delay(
+                    self.config.backoff_base,
+                    self.config.backoff_cap,
+                    attempt - 1,
+                    jitter,
+                ));
+            }
+            // An open breaker blocks the attempt until its cooldown
+            // passes; the attempt that follows is the half-open probe.
+            if let Some(until) = self.breaker.open_until {
+                let now = Instant::now();
+                if now < until {
+                    std::thread::sleep(until - now);
+                }
+            }
+            self.stats.attempts += 1;
+            match self.attempt(&wire, id.as_ref()) {
+                Ok(resp) => {
+                    self.breaker.consecutive_failures = 0;
+                    self.breaker.open_until = None;
+                    return Ok(resp);
+                }
+                Err(AttemptError::Overloaded) => {
+                    // The server is shedding by design: the transport is
+                    // healthy, so don't count it against the breaker or
+                    // tear down the connection — just back off.
+                    self.stats.overloaded_retries += 1;
+                    last_failure = "server overloaded".to_string();
+                }
+                Err(AttemptError::Transport(e)) => {
+                    self.conn = None;
+                    last_failure = e;
+                    self.breaker.consecutive_failures += 1;
+                    if self.breaker.consecutive_failures >= self.config.breaker_threshold {
+                        self.breaker.open_until =
+                            Some(Instant::now() + self.config.breaker_cooldown);
+                        self.breaker.consecutive_failures = 0;
+                        self.stats.breaker_opens += 1;
+                    }
+                }
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: self.config.max_attempts,
+            last: last_failure,
+        })
+    }
+
+    /// One attempt: ensure a connection, send, read one line, validate.
+    fn attempt(&mut self, wire: &str, id: Option<&Json>) -> Result<String, AttemptError> {
+        if self.conn.is_none() {
+            let stream = self.connect().map_err(AttemptError::Transport)?;
+            self.stats.reconnects += 1;
+            self.conn = Some(BufReader::new(stream));
+        }
+        let reader = self.conn.as_mut().expect("connection just ensured");
+        reader
+            .get_mut()
+            .write_all(wire.as_bytes())
+            .map_err(|e| AttemptError::Transport(format!("write: {e}")))?;
+        let mut resp = String::new();
+        match reader.read_line(&mut resp) {
+            Ok(0) => return Err(AttemptError::Transport("connection closed".to_string())),
+            Ok(_) => {}
+            Err(e) => return Err(AttemptError::Transport(format!("read: {e}"))),
+        }
+        if !resp.ends_with('\n') {
+            return Err(AttemptError::Transport(
+                "truncated response (no newline before EOF)".to_string(),
+            ));
+        }
+        let body = resp.trim_end_matches(['\n', '\r']);
+        let parsed = match json::parse(body) {
+            Ok(v) => v,
+            Err(e) => {
+                self.stats.corrupt_responses += 1;
+                return Err(AttemptError::Transport(format!("corrupt response: {e}")));
+            }
+        };
+        if let Some(want) = id {
+            if parsed.get("id") != Some(want) {
+                self.stats.corrupt_responses += 1;
+                return Err(AttemptError::Transport(format!(
+                    "response id mismatch (want {want})"
+                )));
+            }
+        }
+        if parsed
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            == Some("overloaded")
+        {
+            return Err(AttemptError::Overloaded);
+        }
+        Ok(body.to_string())
+    }
+
+    fn connect(&self) -> Result<TcpStream, String> {
+        let addrs: Vec<SocketAddr> = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve {}: {e}", self.addr))?
+            .collect();
+        let mut last = format!("no addresses for {}", self.addr);
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(self.config.read_timeout))
+                        .map_err(|e| format!("set read timeout: {e}"))?;
+                    let _ = stream.set_nodelay(true);
+                    return Ok(stream);
+                }
+                Err(e) => last = format!("connect {addr}: {e}"),
+            }
+        }
+        Err(last)
+    }
+
+    fn next_jitter(&mut self) -> u64 {
+        // splitmix64 — deterministic and dependency-free.
+        self.jitter_state = self.jitter_state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.jitter_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// How one attempt failed.
+enum AttemptError {
+    /// Connect/write/read/validation failure: reconnect and retry;
+    /// counts toward the breaker.
+    Transport(String),
+    /// A typed `overloaded` shed: healthy transport, retry after
+    /// backoff without reconnecting.
+    Overloaded,
+}
+
+/// The delay before retry number `retry` (0-based): `base * 2^retry`
+/// capped at `cap`, then jittered into `[d/2, d]` so synchronized
+/// clients don't retry in lockstep. Pure — `rand` supplies the entropy.
+fn backoff_delay(base: Duration, cap: Duration, retry: u32, rand: u64) -> Duration {
+    let exp = base.saturating_mul(1u32.checked_shl(retry.min(20)).unwrap_or(u32::MAX));
+    let capped = exp.min(cap);
+    let nanos = capped.as_nanos().min(u64::MAX as u128) as u64;
+    let half = nanos / 2;
+    Duration::from_nanos(half + rand % (nanos - half + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    fn fast_config() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(500),
+            max_attempts: 6,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(5),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(20),
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps_and_jitters_within_bounds() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(500);
+        for retry in 0..32 {
+            let nominal = base
+                .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+                .min(cap);
+            for rand in [0u64, 1, u64::MAX, 0xDEADBEEF] {
+                let d = backoff_delay(base, cap, retry, rand);
+                assert!(d <= nominal, "retry {retry}: {d:?} > {nominal:?}");
+                assert!(
+                    d >= nominal / 2,
+                    "retry {retry}: {d:?} < half of {nominal:?}"
+                );
+            }
+        }
+        // Deterministic in the entropy argument.
+        assert_eq!(
+            backoff_delay(base, cap, 3, 42),
+            backoff_delay(base, cap, 3, 42)
+        );
+    }
+
+    #[test]
+    fn invalid_request_lines_fail_without_touching_the_network() {
+        // The address is never resolved: an unparseable line fails fast.
+        let mut client = ResilientClient::new("999.999.999.999:1", fast_config());
+        let err = client.request("{not json").unwrap_err();
+        assert!(matches!(err, ClientError::BadRequest(_)), "{err:?}");
+        assert_eq!(client.stats().attempts, 0);
+    }
+
+    #[test]
+    fn corrupt_then_clean_response_is_retried_to_success() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // First connection: garbage (the strict parser must reject
+            // it). Second connection: a clean echo.
+            let (mut a, _) = listener.accept().unwrap();
+            let mut drop_buf = [0u8; 256];
+            let _ = std::io::Read::read(&mut a, &mut drop_buf);
+            a.write_all(b"\x01\x02 not json\n").unwrap();
+            let (mut b, _) = listener.accept().unwrap();
+            let _ = std::io::Read::read(&mut b, &mut drop_buf);
+            b.write_all(b"{\"id\":\"r1\",\"ok\":true}\n").unwrap();
+        });
+        let mut client = ResilientClient::new(addr.to_string(), fast_config());
+        let resp = client
+            .request("{\"type\":\"stats\",\"id\":\"r1\"}")
+            .unwrap();
+        assert_eq!(resp, "{\"id\":\"r1\",\"ok\":true}");
+        let stats = client.stats();
+        assert!(stats.corrupt_responses >= 1, "{stats:?}");
+        assert!(stats.retries >= 1, "{stats:?}");
+        assert!(stats.reconnects >= 2, "{stats:?}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn mismatched_response_id_counts_as_corrupt() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut a, _) = listener.accept().unwrap();
+            let mut drop_buf = [0u8; 256];
+            let _ = std::io::Read::read(&mut a, &mut drop_buf);
+            a.write_all(b"{\"id\":\"stale\",\"ok\":true}\n").unwrap();
+            let (mut b, _) = listener.accept().unwrap();
+            let _ = std::io::Read::read(&mut b, &mut drop_buf);
+            b.write_all(b"{\"id\":\"r2\",\"ok\":true}\n").unwrap();
+        });
+        let mut client = ResilientClient::new(addr.to_string(), fast_config());
+        let resp = client
+            .request("{\"type\":\"stats\",\"id\":\"r2\"}")
+            .unwrap();
+        assert!(resp.contains("\"id\":\"r2\""));
+        assert!(client.stats().corrupt_responses >= 1);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn overloaded_responses_are_retried_on_the_same_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut stream = stream;
+            let mut line = String::new();
+            // Shed twice, then answer.
+            for i in 0..3 {
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                let resp = if i < 2 {
+                    "{\"id\":\"r3\",\"ok\":false,\"error\":{\"code\":\"overloaded\"}}\n"
+                } else {
+                    "{\"id\":\"r3\",\"ok\":true}\n"
+                };
+                stream.write_all(resp.as_bytes()).unwrap();
+            }
+        });
+        let mut client = ResilientClient::new(addr.to_string(), fast_config());
+        let resp = client
+            .request("{\"type\":\"stats\",\"id\":\"r3\"}")
+            .unwrap();
+        assert!(resp.contains("\"ok\":true"));
+        let stats = client.stats();
+        assert_eq!(stats.overloaded_retries, 2, "{stats:?}");
+        assert_eq!(stats.reconnects, 1, "sheds must not reconnect: {stats:?}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn read_timeout_turns_a_stalled_server_into_retries() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Accept and never respond; hold the sockets so the client
+            // sees a stall, not a close.
+            let mut held = Vec::new();
+            while let Ok((s, _)) = listener.accept() {
+                held.push(s);
+                if held.len() >= 2 {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let mut config = fast_config();
+        config.read_timeout = Duration::from_millis(30);
+        config.max_attempts = 2;
+        let mut client = ResilientClient::new(addr.to_string(), config);
+        let start = Instant::now();
+        let err = client
+            .request("{\"type\":\"stats\",\"id\":\"r4\"}")
+            .unwrap_err();
+        assert!(
+            matches!(err, ClientError::Exhausted { attempts: 2, .. }),
+            "{err:?}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(3));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn repeated_transport_failures_open_the_breaker() {
+        // A port with nothing listening: connects fail immediately.
+        let dead_addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut config = fast_config();
+        config.max_attempts = 8;
+        config.breaker_threshold = 3;
+        config.breaker_cooldown = Duration::from_millis(10);
+        let mut client = ResilientClient::new(dead_addr, config);
+        let err = client
+            .request("{\"type\":\"stats\",\"id\":\"r5\"}")
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Exhausted { .. }), "{err:?}");
+        let stats = client.stats();
+        assert!(stats.breaker_opens >= 2, "{stats:?}");
+        assert_eq!(stats.attempts, 8, "{stats:?}");
+    }
+}

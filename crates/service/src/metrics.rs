@@ -102,6 +102,30 @@ pub struct Metrics {
     /// Explore requests shed at admission (typed `overloaded` response)
     /// because the in-flight bound was reached.
     pub shed_requests: AtomicU64,
+    /// Connections accepted by the listener (and successfully registered
+    /// with the poller). Every accepted connection ends in exactly one of
+    /// the close-reason counters below, so after a clean shutdown
+    /// `conns_accepted == closed_ok + idle_closed + slow_closed +
+    /// reset_by_peer + drained`.
+    pub conns_accepted: AtomicU64,
+    /// Connections that ran to normal completion (client finished and the
+    /// last response flushed).
+    pub closed_ok: AtomicU64,
+    /// Connections closed by the idle timeout: no pending work, no bytes,
+    /// just silence past the deadline.
+    pub idle_closed: AtomicU64,
+    /// Connections closed by the progress deadline: a request line that
+    /// never finished arriving (slowloris), a reader that stopped
+    /// draining its responses past the backpressure pause, or a write
+    /// buffer that hit the hard cap.
+    pub slow_closed: AtomicU64,
+    /// Connections that died on a transport error (ECONNRESET / EPIPE /
+    /// read failure) — including half-open peers detected when a write
+    /// finally failed after their EOF.
+    pub reset_by_peer: AtomicU64,
+    /// Connections closed by the shutdown drain after their in-flight
+    /// responses were flushed (or the drain deadline expired).
+    pub drained: AtomicU64,
     /// Latency of explore requests, arrival to response rendered.
     pub explore_latency: Histogram,
 }
@@ -129,6 +153,12 @@ impl Metrics {
             failed_points: self.failed_points.load(Ordering::Relaxed),
             budget_exhaustions: self.budget_exhaustions.load(Ordering::Relaxed),
             shed_requests: self.shed_requests.load(Ordering::Relaxed),
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            closed_ok: self.closed_ok.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            slow_closed: self.slow_closed.load(Ordering::Relaxed),
+            reset_by_peer: self.reset_by_peer.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
             p50_micros: percentile_micros(&latency, 50.0),
             p99_micros: percentile_micros(&latency, 99.0),
             cache,
@@ -162,6 +192,18 @@ pub struct MetricsSnapshot {
     pub budget_exhaustions: u64,
     /// See [`Metrics::shed_requests`].
     pub shed_requests: u64,
+    /// See [`Metrics::conns_accepted`].
+    pub conns_accepted: u64,
+    /// See [`Metrics::closed_ok`].
+    pub closed_ok: u64,
+    /// See [`Metrics::idle_closed`].
+    pub idle_closed: u64,
+    /// See [`Metrics::slow_closed`].
+    pub slow_closed: u64,
+    /// See [`Metrics::reset_by_peer`].
+    pub reset_by_peer: u64,
+    /// See [`Metrics::drained`].
+    pub drained: u64,
     /// Estimated median explore latency (µs, bucket upper bound).
     pub p50_micros: u64,
     /// Estimated 99th-percentile explore latency (µs).
@@ -179,6 +221,8 @@ impl MetricsSnapshot {
              \"coalesce_poison_recoveries\":{},\"degraded_points\":{},\
              \"failed_points\":{},\
              \"budget_exhaustions\":{},\"shed_requests\":{},\
+             \"conns\":{{\"accepted\":{},\"closed_ok\":{},\"idle_closed\":{},\
+             \"slow_closed\":{},\"reset_by_peer\":{},\"drained\":{}}},\
              \"explore_latency\":{{\"p50_us\":{},\"p99_us\":{}}},\
              \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"poison_recoveries\":{}}}}}",
             self.requests,
@@ -192,6 +236,12 @@ impl MetricsSnapshot {
             self.failed_points,
             self.budget_exhaustions,
             self.shed_requests,
+            self.conns_accepted,
+            self.closed_ok,
+            self.idle_closed,
+            self.slow_closed,
+            self.reset_by_peer,
+            self.drained,
             self.p50_micros,
             self.p99_micros,
             self.cache.hits,
@@ -258,5 +308,30 @@ mod tests {
         );
         assert!(v.get("explore_latency").is_some());
         assert!(v.get("cache").is_some());
+    }
+
+    #[test]
+    fn close_reasons_render_under_the_conns_object() {
+        let m = Metrics::default();
+        Metrics::bump(&m.conns_accepted);
+        Metrics::bump(&m.conns_accepted);
+        Metrics::bump(&m.closed_ok);
+        Metrics::bump(&m.idle_closed);
+        Metrics::bump(&m.slow_closed);
+        Metrics::bump(&m.reset_by_peer);
+        Metrics::bump(&m.drained);
+        let j = m.snapshot(CacheStats::default(), 0).to_json();
+        let v = crate::json::parse(&j).expect("stats JSON parses");
+        let conns = v.get("conns").expect("conns object");
+        for key in [
+            "closed_ok",
+            "idle_closed",
+            "slow_closed",
+            "reset_by_peer",
+            "drained",
+        ] {
+            assert_eq!(conns.get(key).and_then(|x| x.as_u64()), Some(1), "{key}");
+        }
+        assert_eq!(conns.get("accepted").and_then(|x| x.as_u64()), Some(2));
     }
 }

@@ -408,11 +408,7 @@ impl Poller {
     /// returns `true` when a wake was consumed.
     pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<bool> {
         out.clear();
-        let timeout_ms: i32 = match timeout {
-            None => -1,
-            // Round up so a 1 µs timeout still sleeps, and saturate.
-            Some(d) => d.as_millis().min(i32::MAX as u128).max(1) as i32,
-        };
+        let timeout_ms: i32 = timeout_millis(timeout);
         let mut woken = false;
         match &mut self.backend {
             Backend::Epoll(ep) => {
@@ -495,6 +491,18 @@ impl Poller {
             self.wake_read.drain();
         }
         Ok(woken)
+    }
+}
+
+/// Convert a wait timeout to the millisecond argument `epoll_wait`/`poll`
+/// expect: `-1` blocks forever, `0` polls and returns. Rounds *up* so a
+/// nonzero duration never becomes a 0 ms busy-poll (a 1 µs timer would
+/// otherwise spin the loop), and a sub-slot timer is never woken early
+/// and rescheduled forever. Saturates at `i32::MAX` ms (~24 days).
+fn timeout_millis(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => d.as_nanos().div_ceil(1_000_000).min(i32::MAX as u128) as i32,
     }
 }
 
@@ -602,5 +610,74 @@ mod tests {
             assert!(!Poller::new(false).unwrap().is_poll_backend());
         }
         assert!(Poller::new(true).unwrap().is_poll_backend());
+    }
+
+    #[test]
+    fn requested_timeout_bounds_an_idle_wait_on_both_backends() {
+        // The timer integration depends on `wait(Some(d))` returning
+        // close to `d` when nothing is ready: a timeout that blocked
+        // past its bound would fire idle/progress deadlines late.
+        for mut poller in backends() {
+            let mut events = Vec::new();
+            let start = std::time::Instant::now();
+            let woken = poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            let elapsed = start.elapsed();
+            assert!(!woken && events.is_empty());
+            assert!(
+                elapsed >= Duration::from_millis(45),
+                "woke early: {elapsed:?} (backend poll={})",
+                poller.is_poll_backend()
+            );
+            assert!(
+                elapsed < Duration::from_secs(5),
+                "timeout did not bound the wait: {elapsed:?} (backend poll={})",
+                poller.is_poll_backend()
+            );
+        }
+    }
+
+    #[test]
+    fn sub_millisecond_timeout_still_sleeps_on_both_backends() {
+        // A 1 µs timeout must round UP to 1 ms, not down to 0: a 0 ms
+        // wait is a nonblocking poll, and a timer loop built on it would
+        // spin the CPU until the sub-ms deadline passes.
+        for mut poller in backends() {
+            let mut events = Vec::new();
+            let mut spins = 0u32;
+            let start = std::time::Instant::now();
+            // If rounding handed the kernel 0 ms, these 20 waits would
+            // all return instantly (well under 1 ms total).
+            while spins < 20 {
+                poller
+                    .wait(&mut events, Some(Duration::from_micros(1)))
+                    .unwrap();
+                spins += 1;
+            }
+            let elapsed = start.elapsed();
+            assert!(
+                elapsed >= Duration::from_millis(10),
+                "20 one-µs waits finished in {elapsed:?} — rounding slept 0 ms \
+                 (backend poll={})",
+                poller.is_poll_backend()
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_rounding_never_maps_nonzero_to_zero() {
+        assert_eq!(timeout_millis(None), -1);
+        // Zero means "poll and return": the caller explicitly asked for
+        // an immediate pass (an overdue timer), not a sleep.
+        assert_eq!(timeout_millis(Some(Duration::ZERO)), 0);
+        // Everything nonzero rounds up, never down to 0.
+        assert_eq!(timeout_millis(Some(Duration::from_nanos(1))), 1);
+        assert_eq!(timeout_millis(Some(Duration::from_micros(999))), 1);
+        assert_eq!(timeout_millis(Some(Duration::from_millis(1))), 1);
+        assert_eq!(timeout_millis(Some(Duration::from_micros(1500))), 2);
+        assert_eq!(timeout_millis(Some(Duration::from_millis(250))), 250);
+        // And saturates instead of overflowing the C int.
+        assert_eq!(timeout_millis(Some(Duration::from_secs(1 << 40))), i32::MAX);
     }
 }

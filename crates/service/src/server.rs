@@ -57,14 +57,41 @@
 //! under overload the server degrades into fast rejections, not growing
 //! latency.
 //!
+//! # Connection lifecycle
+//!
+//! Every connection carries deadlines enforced by a [`TimerWheel`] whose
+//! next due time becomes the poller's wait timeout — timers and socket
+//! readiness share one blocking point, so an idle server still never
+//! spins and still wakes exactly when a deadline falls due. Two clocks
+//! run per connection:
+//!
+//! * an **idle timeout** ([`ServiceConfig::idle_timeout`]) for
+//!   connections with nothing pending — no partial line, no outstanding
+//!   compute, no unflushed output — that simply go silent;
+//! * a **progress deadline** ([`ServiceConfig::progress_timeout`])
+//!   anchored at the start of any I/O obligation: a request line that
+//!   began arriving must finish within it (slowloris defense), and a
+//!   backpressure pause (or a half-open peer's pending output after its
+//!   EOF) must drain within it (stalled-reader defense).
+//!
+//! Every close is typed with a reason and counted:
+//! `closed_ok` (clean completion), `idle_closed`, `slow_closed`
+//! (progress deadline or the write hard cap), `reset_by_peer`
+//! (transport error, including half-open peers whose writes finally
+//! failed), and `drained` (closed by the shutdown drain). After a clean
+//! shutdown the reasons sum to `conns_accepted`.
+//!
 //! # Shutdown
 //!
-//! A `shutdown` request flips the loop into teardown: the response is
-//! flushed, the master cancel token stops in-flight solves cooperatively,
-//! already-admitted completions are drained briefly, and the worker
-//! channel is closed. The loop itself is woken explicitly (it never sits
-//! in a sleep-and-poll cycle), so shutdown with idle connections open
-//! completes in milliseconds.
+//! A `shutdown` request starts a graceful drain: the listener is
+//! deregistered (stop accepting), reading stops, but in-flight explores
+//! keep computing and their responses are flushed before their
+//! connections close with reason `drained`. Only when the drain deadline
+//! ([`ServiceConfig::drain_timeout`]) expires does the master cancel
+//! token stop the remaining solves cooperatively and force the last
+//! connections closed. The loop itself is woken explicitly (it never
+//! sits in a sleep-and-poll cycle), so shutdown with idle connections
+//! open completes in milliseconds.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
@@ -78,16 +105,19 @@ use std::time::{Duration, Instant};
 
 use cred_codegen::DecMode;
 use cred_dfg::Dfg;
+use cred_exact::MachineModel;
 use cred_explore::cache::SweepCache;
 use cred_explore::suite::{load_kernels, SCHEMA_VERSION};
-use cred_exact::MachineModel;
-use cred_explore::{exact_json, point_json, CacheStats, CredError, ExploreRequest, ExploreResponse};
+use cred_explore::{
+    exact_json, point_json, CacheStats, CredError, ExploreRequest, ExploreResponse,
+};
 use cred_resilience::{CancelToken, DegradeCause, Exhausted};
 
 use crate::coalesce::{Coalescer, Role};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
 use crate::poller::{Event, Interest, Poller, Waker};
+use crate::timer::TimerWheel;
 
 /// Hard cap on one request line. Sources are small; anything beyond this
 /// is rejected as a protocol error and the connection closed.
@@ -104,20 +134,26 @@ const MAX_N: u64 = 1 << 40;
 /// worker for long).
 const MAX_DEBUG_DELAY_MS: u64 = 5_000;
 
+/// Largest accepted `debug_pad_bytes` (a test hook for inflating one
+/// response past the write watermarks; must stay well under the hard
+/// cap).
+const MAX_DEBUG_PAD_BYTES: u64 = 16 << 20;
+
 /// Registration token of the listen socket (`u64::MAX` is the poller's
 /// own wake token; connection tokens count up from zero).
 const LISTENER_TOKEN: u64 = u64::MAX - 1;
 
-/// Unflushed-output level above which a connection stops being read
-/// (write backpressure engages).
+/// Default unflushed-output level above which a connection stops being
+/// read (write backpressure engages).
 const WRITE_HIGH_WATER: usize = 1 << 20;
 
-/// Unflushed-output level below which a paused connection resumes
-/// reading.
+/// Default unflushed-output level below which a paused connection
+/// resumes reading.
 const WRITE_LOW_WATER: usize = 64 << 10;
 
-/// Absolute cap on unflushed output: a client that stops reading
-/// entirely is disconnected rather than buffered forever.
+/// Default absolute cap on unflushed output: a client that stops reading
+/// entirely is disconnected rather than buffered forever (and before
+/// that, the progress deadline usually closes it).
 const WRITE_HARD_CAP: usize = 1 << 26;
 
 /// Bytes read per connection per readiness event before yielding to
@@ -150,6 +186,24 @@ pub struct ServiceConfig {
     /// (exercised by tests; harmless in production, just O(connections)
     /// per wakeup).
     pub force_poll_backend: bool,
+    /// Close a connection with nothing pending after this much silence
+    /// (`idle_closed`). `None` disables the idle timeout.
+    pub idle_timeout: Option<Duration>,
+    /// Deadline on any I/O obligation: a request line must finish
+    /// arriving, and a backpressure pause (or half-open peer's pending
+    /// output) must drain, within this window (`slow_closed`). `None`
+    /// disables the progress deadline.
+    pub progress_timeout: Option<Duration>,
+    /// How long the shutdown drain waits for in-flight responses before
+    /// cancelling the remaining solves and force-closing.
+    pub drain_timeout: Duration,
+    /// Unflushed-output level above which a connection stops being read.
+    pub write_high_water: usize,
+    /// Unflushed-output level below which a paused connection resumes
+    /// reading.
+    pub write_low_water: usize,
+    /// Absolute cap on unflushed output.
+    pub write_hard_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -163,6 +217,12 @@ impl Default for ServiceConfig {
             metrics_dump: None,
             max_in_flight: 512,
             force_poll_backend: false,
+            idle_timeout: Some(Duration::from_secs(60)),
+            progress_timeout: Some(Duration::from_secs(10)),
+            drain_timeout: Duration::from_secs(2),
+            write_high_water: WRITE_HIGH_WATER,
+            write_low_water: WRITE_LOW_WATER,
+            write_hard_cap: WRITE_HARD_CAP,
         }
     }
 }
@@ -215,10 +275,7 @@ struct Completion {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
-    workers: usize,
-    metrics_dump: Option<PathBuf>,
-    max_in_flight: usize,
-    force_poll_backend: bool,
+    config: ServiceConfig,
 }
 
 impl Server {
@@ -236,6 +293,13 @@ impl Server {
         if config.max_in_flight < 1 {
             return Err(CredError::Protocol(
                 "max in-flight bound must be at least 1".into(),
+            ));
+        }
+        if config.write_low_water >= config.write_high_water
+            || config.write_high_water > config.write_hard_cap
+        {
+            return Err(CredError::Protocol(
+                "write watermarks must satisfy low < high <= hard cap".into(),
             ));
         }
         let listener = TcpListener::bind(&config.addr)
@@ -257,10 +321,7 @@ impl Server {
                 master_cancel: CancelToken::new(),
                 default_deadline: config.default_deadline,
             }),
-            workers: config.workers,
-            metrics_dump: config.metrics_dump,
-            max_in_flight: config.max_in_flight,
-            force_poll_backend: config.force_poll_backend,
+            config,
         })
     }
 
@@ -270,17 +331,18 @@ impl Server {
     }
 
     /// Accept and serve until a `shutdown` request arrives. Returns after
-    /// in-flight work has been cancelled and drained, every worker has
-    /// joined, and the optional metrics dump has been written.
+    /// the graceful drain has flushed (or the drain deadline has cut off)
+    /// in-flight work, every worker has joined, and the optional metrics
+    /// dump has been written.
     pub fn run(self) -> Result<(), CredError> {
         self.listener.set_nonblocking(true)?;
-        let poller = Poller::new(self.force_poll_backend)
+        let poller = Poller::new(self.config.force_poll_backend)
             .map_err(|e| CredError::Io(format!("poller: {e}")))?;
         let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
-        let mut handles = Vec::with_capacity(self.workers);
-        for i in 0..self.workers {
+        let mut handles = Vec::with_capacity(self.config.workers);
+        for i in 0..self.config.workers {
             let rx = Arc::clone(&rx);
             let shared = Arc::clone(&self.shared);
             let completions = Arc::clone(&completions);
@@ -301,8 +363,16 @@ impl Server {
             completions,
             shared: Arc::clone(&self.shared),
             in_flight: 0,
-            max_in_flight: self.max_in_flight,
-            shutdown: false,
+            max_in_flight: self.config.max_in_flight,
+            timers: TimerWheel::new(Instant::now()),
+            idle_timeout: self.config.idle_timeout,
+            progress_timeout: self.config.progress_timeout,
+            drain_timeout: self.config.drain_timeout,
+            wm_high: self.config.write_high_water,
+            wm_low: self.config.write_low_water,
+            wm_hard: self.config.write_hard_cap,
+            draining: false,
+            drain_deadline: None,
         };
         event_loop
             .poller
@@ -313,23 +383,40 @@ impl Server {
             )
             .map_err(|e| CredError::Io(format!("registering listener: {e}")))?;
         let result = event_loop.run();
-        // Teardown: stop in-flight solves, drain what was already
-        // admitted (cancellation makes those finish promptly), flush the
-        // last responses, then close the channel and join the pool.
+        // Teardown: the loop has already drained gracefully; cancel is
+        // idempotent (the drain-deadline path may have fired it), then
+        // close the channel and join the pool.
         self.shared.master_cancel.cancel();
-        event_loop.drain_in_flight(Duration::from_secs(2));
-        event_loop.final_flush(Duration::from_millis(100));
         drop(event_loop);
         for h in handles {
             let _ = h.join();
         }
-        if let Some(path) = &self.metrics_dump {
+        if let Some(path) = &self.config.metrics_dump {
             let snap = self.shared.stats_snapshot();
             std::fs::write(path, snap.to_json() + "\n")
                 .map_err(|e| CredError::Io(format!("writing {}: {e}", path.display())))?;
         }
         result
     }
+}
+
+/// Why a connection was closed. Every accepted connection ends with
+/// exactly one reason, counted in [`Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CloseReason {
+    /// Clean completion: the client finished and the last response
+    /// flushed.
+    Ok,
+    /// Idle timeout: nothing pending, silence past the deadline.
+    Idle,
+    /// Progress deadline: a request line that never finished arriving, a
+    /// backpressure pause that never drained, or the write hard cap.
+    Slow,
+    /// Transport error (reset/EPIPE/read failure), including half-open
+    /// peers whose pending writes finally failed after their EOF.
+    Reset,
+    /// Closed by the shutdown drain.
+    Drained,
 }
 
 /// One connection's state machine.
@@ -357,13 +444,59 @@ struct Conn {
     paused: bool,
     /// Fatal error: drop the connection at the next update.
     dead: bool,
+    /// Why `dead` was set (transport errors vs the hard cap); `None`
+    /// until then.
+    death_reason: Option<CloseReason>,
     /// Interest currently registered with the poller.
     interest: Interest,
+    /// Last instant the connection was observed non-quiescent (the idle
+    /// clock's anchor).
+    last_activity: Instant,
+    /// When the current partial request line started arriving (the
+    /// slowloris clock's anchor); cleared on every completed line.
+    partial_since: Option<Instant>,
+    /// When the current write-side obligation began: a backpressure
+    /// pause, or pending output after the peer's EOF (half-open).
+    stalled_since: Option<Instant>,
+    /// Earliest deadline hint currently armed in the timer wheel.
+    armed_for: Option<Instant>,
+    /// Marked by the shutdown drain: this connection closes with reason
+    /// `Drained`, not `Ok`.
+    drain_marked: bool,
 }
 
 impl Conn {
     fn unflushed(&self) -> usize {
         self.wbuf.len() - self.wpos
+    }
+
+    /// The progress deadline, if an I/O obligation is pending.
+    fn progress_deadline(&self, progress: Option<Duration>) -> Option<Instant> {
+        let window = progress?;
+        [self.partial_since, self.stalled_since]
+            .iter()
+            .flatten()
+            .min()
+            .map(|since| *since + window)
+    }
+
+    /// The idle deadline, if the connection is quiescent.
+    fn idle_deadline(&self, idle: Option<Duration>) -> Option<Instant> {
+        let window = idle?;
+        let quiescent = self.rbuf.is_empty()
+            && self.outstanding == 0
+            && self.done.is_empty()
+            && self.unflushed() == 0;
+        quiescent.then(|| self.last_activity + window)
+    }
+
+    /// Earliest pending lifecycle deadline, if any.
+    fn next_deadline(&self, idle: Option<Duration>, progress: Option<Duration>) -> Option<Instant> {
+        match (self.progress_deadline(progress), self.idle_deadline(idle)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
     }
 }
 
@@ -380,37 +513,67 @@ struct EventLoop {
     /// Explore requests dispatched to workers and not yet completed.
     in_flight: usize,
     max_in_flight: usize,
-    shutdown: bool,
+    /// Lifecycle deadline hints; the next due time bounds the poller
+    /// wait.
+    timers: TimerWheel,
+    idle_timeout: Option<Duration>,
+    progress_timeout: Option<Duration>,
+    drain_timeout: Duration,
+    /// Write watermarks (high engages backpressure, low releases it,
+    /// hard disconnects).
+    wm_high: usize,
+    wm_low: usize,
+    wm_hard: usize,
+    /// A `shutdown` request was seen: the listener is closed and the
+    /// loop is finishing in-flight responses.
+    draining: bool,
+    /// When the drain gives up waiting and force-closes.
+    drain_deadline: Option<Instant>,
 }
 
 impl EventLoop {
     fn run(&mut self) -> Result<(), CredError> {
         let mut events: Vec<Event> = Vec::new();
-        while !self.shutdown {
-            // No timeout: every wakeup is an explicit event — socket
-            // readiness, a worker completion, or shutdown. The loop
-            // never spins.
+        loop {
+            if self.draining && self.conns.is_empty() && self.in_flight == 0 {
+                return Ok(());
+            }
+            // The wait is bounded only by the earliest lifecycle timer
+            // (and the drain deadline): with no deadlines pending every
+            // wakeup is an explicit event — socket readiness, a worker
+            // completion — and the loop never spins.
+            let now = Instant::now();
+            let mut timeout = self.timers.next_timeout(now);
+            if let Some(dd) = self.drain_deadline {
+                let until = dd.saturating_duration_since(now);
+                timeout = Some(timeout.map_or(until, |t| t.min(until)));
+            }
             let woken = self
                 .poller
-                .wait(&mut events, None)
+                .wait(&mut events, timeout)
                 .map_err(|e| CredError::Io(format!("poll wait: {e}")))?;
             let batch = std::mem::take(&mut events);
             for ev in &batch {
                 if ev.token == LISTENER_TOKEN {
-                    self.accept_all();
+                    if !self.draining {
+                        self.accept_all();
+                    }
                 } else {
                     self.handle_conn_event(ev);
-                }
-                if self.shutdown {
-                    break;
                 }
             }
             events = batch;
             if woken {
                 self.drain_completions();
             }
+            self.expire_timers();
+            if let Some(dd) = self.drain_deadline {
+                if Instant::now() >= dd {
+                    self.force_drain();
+                    return Ok(());
+                }
+            }
         }
-        Ok(())
     }
 
     fn accept_all(&mut self) {
@@ -428,6 +591,7 @@ impl EventLoop {
                     if self.poller.register(fd, token, interest).is_err() {
                         continue;
                     }
+                    Metrics::bump(&self.shared.metrics.conns_accepted);
                     self.conns.insert(
                         token,
                         Conn {
@@ -443,9 +607,17 @@ impl EventLoop {
                             read_closed: false,
                             paused: false,
                             dead: false,
+                            death_reason: None,
                             interest,
+                            last_activity: Instant::now(),
+                            partial_since: None,
+                            stalled_since: None,
+                            armed_for: None,
+                            drain_marked: false,
                         },
                     );
+                    // A fresh connection starts its idle clock at once.
+                    self.arm_timer(token);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -486,16 +658,19 @@ impl EventLoop {
                         // A trailing partial line (no newline) is
                         // discarded, as a blocking reader would have.
                         conn.rbuf.clear();
+                        conn.partial_since = None;
                         return;
                     }
                     Ok(n) => {
                         conn.rbuf.extend_from_slice(&chunk[..n]);
+                        conn.last_activity = arrival;
                         n
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                     Err(_) => {
                         conn.dead = true;
+                        conn.death_reason = Some(CloseReason::Reset);
                         return;
                     }
                 }
@@ -508,7 +683,9 @@ impl EventLoop {
         }
     }
 
-    /// Split the read buffer into complete lines and handle each.
+    /// Split the read buffer into complete lines and handle each. Also
+    /// keeps the slowloris anchor: a partial line left behind starts (or
+    /// keeps) the progress clock; every completed line resets it.
     fn process_lines(&mut self, token: u64, arrival: Instant) {
         loop {
             let line: Vec<u8> = {
@@ -517,6 +694,9 @@ impl EventLoop {
                 };
                 match conn.rbuf.iter().position(|&b| b == b'\n') {
                     Some(nl) => {
+                        // A line completed: the next partial (if any)
+                        // gets a fresh progress anchor below.
+                        conn.partial_since = None;
                         let line = conn.rbuf.drain(..=nl).collect();
                         line
                     }
@@ -535,6 +715,9 @@ impl EventLoop {
                             conn.done.insert(seq, error_response(&None, &e));
                             conn.read_closed = true;
                             conn.rbuf = Vec::new();
+                            conn.partial_since = None;
+                        } else if !conn.rbuf.is_empty() && conn.partial_since.is_none() {
+                            conn.partial_since = Some(arrival);
                         }
                         return;
                     }
@@ -544,7 +727,7 @@ impl EventLoop {
             let trimmed = text.trim();
             if !trimmed.is_empty() {
                 self.handle_line(token, trimmed, arrival);
-                if self.shutdown {
+                if self.draining {
                     return;
                 }
             }
@@ -610,7 +793,7 @@ impl EventLoop {
                     seq,
                     format!("{},\"type\":\"shutdown\"}}", head(true, &id)),
                 );
-                self.shutdown = true;
+                self.begin_drain();
             }
             Some("explore") => {
                 if self.in_flight >= self.max_in_flight {
@@ -687,29 +870,57 @@ impl EventLoop {
 
     /// Advance one connection's output state machine: move in-order
     /// responses to the write buffer, write greedily, adjust
-    /// backpressure and poller interest, close when finished or dead.
+    /// backpressure, lifecycle anchors, and poller interest, close when
+    /// finished or dead.
     fn update_conn(&mut self, token: u64) {
-        let remove = {
+        let verdict = {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
             flush_ready(conn);
             if !conn.dead && try_write(conn).is_err() {
                 conn.dead = true;
+                conn.death_reason = Some(CloseReason::Reset);
             }
             let unflushed = conn.unflushed();
-            if unflushed > WRITE_HARD_CAP {
+            if unflushed > self.wm_hard {
+                // The reader fell so far behind that even the progress
+                // deadline hasn't caught it yet: same taxonomy, slow.
                 conn.dead = true;
+                conn.death_reason.get_or_insert(CloseReason::Slow);
             }
             conn.paused = if conn.paused {
-                unflushed >= WRITE_LOW_WATER
+                unflushed >= self.wm_low
             } else {
-                unflushed >= WRITE_HIGH_WATER
+                unflushed >= self.wm_high
             };
+            // Lifecycle anchors. The idle clock refreshes while anything
+            // is pending; the write-side progress clock anchors when a
+            // backpressure pause (or a half-open peer's pending output)
+            // begins and clears only when the obligation does.
+            let now = Instant::now();
+            if !conn.rbuf.is_empty()
+                || conn.outstanding > 0
+                || unflushed > 0
+                || !conn.done.is_empty()
+            {
+                conn.last_activity = now;
+            }
+            if conn.paused || (conn.read_closed && unflushed > 0) {
+                conn.stalled_since.get_or_insert(now);
+            } else {
+                conn.stalled_since = None;
+            }
             let finished =
                 conn.read_closed && conn.outstanding == 0 && conn.done.is_empty() && unflushed == 0;
-            if conn.dead || finished {
-                true
+            if conn.dead {
+                Some(conn.death_reason.unwrap_or(CloseReason::Reset))
+            } else if finished {
+                Some(if conn.drain_marked {
+                    CloseReason::Drained
+                } else {
+                    CloseReason::Ok
+                })
             } else {
                 let want = Interest {
                     readable: !conn.read_closed && !conn.paused,
@@ -717,59 +928,146 @@ impl EventLoop {
                 };
                 if want != conn.interest {
                     conn.interest = want;
-                    self.poller.reregister(conn.fd, token, want).is_err()
+                    if self.poller.reregister(conn.fd, token, want).is_err() {
+                        Some(CloseReason::Reset)
+                    } else {
+                        None
+                    }
                 } else {
-                    false
+                    None
                 }
             }
         };
-        if remove {
-            self.remove_conn(token);
+        match verdict {
+            Some(reason) => self.remove_conn(token, reason),
+            None => self.arm_timer(token),
         }
     }
 
-    fn remove_conn(&mut self, token: u64) {
+    fn remove_conn(&mut self, token: u64, reason: CloseReason) {
         if let Some(conn) = self.conns.remove(&token) {
             // Deregister before the fd closes: the poll(2) backend keeps
             // a userspace table that would otherwise poll a dead fd.
             let _ = self.poller.deregister(conn.fd);
+            let m = &self.shared.metrics;
+            Metrics::bump(match reason {
+                CloseReason::Ok => &m.closed_ok,
+                CloseReason::Idle => &m.idle_closed,
+                CloseReason::Slow => &m.slow_closed,
+                CloseReason::Reset => &m.reset_by_peer,
+                CloseReason::Drained => &m.drained,
+            });
         }
     }
 
-    /// Wait (bounded) for already-admitted explore requests to complete
-    /// after shutdown; the master cancel token makes them finish fast.
-    /// New socket events are ignored — only completions are drained.
-    fn drain_in_flight(&mut self, limit: Duration) {
-        let deadline = Instant::now() + limit;
+    /// Arm (or tighten) the timer-wheel hint for this connection's
+    /// earliest lifecycle deadline. Hints are lazy: a deadline that moves
+    /// later is not cancelled, just rechecked when the stale hint fires.
+    fn arm_timer(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let Some(deadline) = conn.next_deadline(self.idle_timeout, self.progress_timeout) else {
+            return;
+        };
+        if conn.armed_for.is_none_or(|armed| deadline < armed) {
+            conn.armed_for = Some(deadline);
+            self.timers.insert(token, deadline);
+        }
+    }
+
+    /// Fire every due timer hint, closing connections whose real
+    /// deadline has passed and re-arming the rest.
+    fn expire_timers(&mut self) {
+        if self.timers.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        for token in self.timers.expire(now) {
+            let verdict = match self.conns.get_mut(&token) {
+                None => continue,
+                Some(conn) => {
+                    conn.armed_for = None;
+                    match conn.next_deadline(self.idle_timeout, self.progress_timeout) {
+                        Some(d) if d <= now => {
+                            // Which clock ran out decides the reason;
+                            // pending output is dropped — the peer is
+                            // gone or hostile.
+                            let slow = conn
+                                .progress_deadline(self.progress_timeout)
+                                .is_some_and(|d| d <= now);
+                            Err(if slow {
+                                CloseReason::Slow
+                            } else {
+                                CloseReason::Idle
+                            })
+                        }
+                        later => Ok(later),
+                    }
+                }
+            };
+            match verdict {
+                Err(reason) => self.remove_conn(token, reason),
+                Ok(Some(deadline)) => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.armed_for = Some(deadline);
+                    }
+                    self.timers.insert(token, deadline);
+                }
+                Ok(None) => {}
+            }
+        }
+    }
+
+    /// Enter the graceful drain: stop accepting, stop reading, finish
+    /// and flush what is in flight. Connections still open close with
+    /// reason `drained` once their work completes (or when the drain
+    /// deadline force-closes them).
+    fn begin_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + self.drain_timeout);
+        let _ = self.poller.deregister(self.listener.as_raw_fd());
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if !conn.read_closed {
+                    conn.drain_marked = true;
+                    conn.read_closed = true;
+                    conn.rbuf.clear();
+                    conn.partial_since = None;
+                }
+            }
+            self.update_conn(token);
+        }
+    }
+
+    /// The drain deadline passed with work still pending: cancel the
+    /// remaining solves cooperatively, give their completions a brief
+    /// window to land, flush best-effort, and close everything.
+    fn force_drain(&mut self) {
+        self.shared.master_cancel.cancel();
+        let cutoff = Instant::now() + Duration::from_millis(300);
         let mut events: Vec<Event> = Vec::new();
-        while self.in_flight > 0 && Instant::now() < deadline {
+        while self.in_flight > 0 && Instant::now() < cutoff {
             match self
                 .poller
                 .wait(&mut events, Some(Duration::from_millis(20)))
             {
                 Ok(true) => self.drain_completions(),
                 Ok(false) => {}
-                Err(_) => return,
+                Err(_) => break,
             }
         }
-    }
-
-    /// Best-effort flush of every connection's remaining output (the
-    /// shutdown response, mostly), bounded in time.
-    fn final_flush(&mut self, limit: Duration) {
-        let deadline = Instant::now() + limit;
         let tokens: Vec<u64> = self.conns.keys().copied().collect();
         for token in tokens {
-            while let Some(conn) = self.conns.get_mut(&token) {
+            if let Some(conn) = self.conns.get_mut(&token) {
                 flush_ready(conn);
-                if conn.unflushed() == 0 || try_write(conn).is_err() {
-                    break;
-                }
-                if conn.unflushed() == 0 || Instant::now() >= deadline {
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(1));
+                let _ = try_write(conn);
             }
+            self.remove_conn(token, CloseReason::Drained);
         }
     }
 }
@@ -943,7 +1241,13 @@ fn handle_explore(
         return Err(CredError::DegradedUnderStrict { degraded });
     }
     shared.metrics.explore_latency.record(arrival.elapsed());
-    Ok(render_explore(id, resp, coalesced, shared))
+    Ok(render_explore(
+        id,
+        resp,
+        coalesced,
+        params.debug_pad_bytes.unwrap_or(0) as usize,
+        shared,
+    ))
 }
 
 /// Whether a shared explore outcome depends on the resource limits of the
@@ -981,6 +1285,7 @@ struct ExploreParams {
     deadline: Option<Duration>,
     work_limit: Option<u64>,
     debug_delay_ms: Option<u64>,
+    debug_pad_bytes: Option<u64>,
 }
 
 impl ExploreParams {
@@ -1091,6 +1396,20 @@ impl ExploreParams {
                 }
             },
         };
+        // Test hook like debug_delay_ms: inflate the response with a
+        // `pad` field of this many filler bytes, so lifecycle tests can
+        // push one response past the write watermarks deterministically.
+        let debug_pad_bytes = match req.get("debug_pad_bytes") {
+            None => None,
+            Some(v) => match v.as_u64() {
+                Some(b) if b <= MAX_DEBUG_PAD_BYTES => Some(b),
+                _ => {
+                    return Err(CredError::Protocol(format!(
+                        "debug_pad_bytes must be an integer <= {MAX_DEBUG_PAD_BYTES}"
+                    )))
+                }
+            },
+        };
         Ok(ExploreParams {
             graph,
             max_f,
@@ -1101,6 +1420,7 @@ impl ExploreParams {
             deadline,
             work_limit,
             debug_delay_ms,
+            debug_pad_bytes,
         })
     }
 }
@@ -1127,6 +1447,7 @@ fn render_explore(
     id: &Option<String>,
     resp: &ExploreResponse,
     coalesced: bool,
+    pad_bytes: usize,
     shared: &Shared,
 ) -> String {
     let mut out = head(true, id);
@@ -1174,6 +1495,12 @@ fn render_explore(
     if let Some(exact) = &resp.exact {
         out.push_str(",\"exact\":");
         out.push_str(&exact_json(exact));
+    }
+    // Test hook (`debug_pad_bytes`): absent from every real response.
+    if pad_bytes > 0 {
+        out.push_str(",\"pad\":\"");
+        out.extend(std::iter::repeat_n('x', pad_bytes));
+        out.push('"');
     }
     // Cache counters are re-read at render time: for the shared cache the
     // response-embedded snapshot inside `resp` may be stale by now.

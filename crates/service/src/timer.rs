@@ -1,0 +1,241 @@
+//! A hashed timer wheel for connection-lifecycle deadlines.
+//!
+//! The event loop never sleeps blindly: [`TimerWheel::next_timeout`]
+//! yields the gap to the earliest pending deadline, which the loop hands
+//! to [`crate::poller::Poller::wait`] as its timeout — timers and socket
+//! readiness share one blocking point, so an idle server still wakes
+//! exactly when the next idle/progress deadline falls due.
+//!
+//! Entries are *hints*, not truth: the wheel stores `(token, deadline)`
+//! pairs and [`expire`](TimerWheel::expire) hands back every token whose
+//! hinted deadline has passed. The owner rechecks the connection's real
+//! deadline (which may have moved later with activity) and re-arms if it
+//! has. This lazy-cancellation scheme means rescheduling a timer is an
+//! O(1) insert and cancelling one is free — the stale hint fires once,
+//! gets rechecked, and disappears. A connection therefore never closes on
+//! a stale hint, only on a recheck against its live state.
+//!
+//! The wheel hashes deadlines into coarse slots (64 slots of 64 ms
+//! ≈ 4 s per revolution); deadlines further out than one revolution sit
+//! in an overflow list that is swept into slots as the cursor advances.
+//! Timeouts this wheel reports are rounded *up* to the slot edge, so a
+//! deadline is never reported early, only up to one slot late — fine for
+//! lifecycle timeouts measured in hundreds of milliseconds.
+
+use std::time::{Duration, Instant};
+
+/// Slot width. Lifecycle deadlines are coarse (100 ms and up), so 64 ms
+/// of firing slack is invisible while keeping the wheel small.
+const SLOT_MS: u64 = 64;
+
+/// Slots per revolution (4.1 s); anything later overflows.
+const SLOTS: usize = 64;
+
+/// One pending deadline hint.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: u64,
+    deadline: Instant,
+}
+
+/// The wheel. Owned by one event loop; not thread-safe by design.
+#[derive(Debug)]
+pub struct TimerWheel {
+    /// Wheel origin: tick 0 starts here.
+    base: Instant,
+    /// First tick not yet swept by [`expire`](Self::expire).
+    cursor: u64,
+    slots: Vec<Vec<Entry>>,
+    /// Entries more than one revolution out.
+    overflow: Vec<Entry>,
+    /// Pending entry count (slots + overflow).
+    len: usize,
+}
+
+impl TimerWheel {
+    pub fn new(now: Instant) -> TimerWheel {
+        TimerWheel {
+            base: now,
+            cursor: 0,
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        let ms = t.saturating_duration_since(self.base).as_millis() as u64;
+        ms / SLOT_MS
+    }
+
+    /// Number of pending entries (stale hints included).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arm a deadline hint for `token`. Duplicates are fine — every fired
+    /// hint is rechecked by the owner.
+    pub fn insert(&mut self, token: u64, deadline: Instant) {
+        let tick = self.tick_of(deadline).max(self.cursor);
+        let entry = Entry { token, deadline };
+        if tick >= self.cursor + SLOTS as u64 {
+            self.overflow.push(entry);
+        } else {
+            self.slots[(tick % SLOTS as u64) as usize].push(entry);
+        }
+        self.len += 1;
+    }
+
+    /// How long `wait` may block before the earliest hint falls due:
+    /// `None` when no timers are pending, `Some(ZERO)` when one is
+    /// already overdue. Rounded up to a slot edge — never early.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        let now_tick = self.tick_of(now);
+        // Scan one revolution of slots from the cursor.
+        let from = self.cursor;
+        for tick in from..from + SLOTS as u64 {
+            if self.slots[(tick % SLOTS as u64) as usize].is_empty() {
+                continue;
+            }
+            if tick <= now_tick {
+                return Some(Duration::ZERO);
+            }
+            // Sleep to the end of that slot so the entries inside it are
+            // guaranteed due when we wake.
+            let edge_ms = (tick + 1) * SLOT_MS;
+            let now_ms = now.saturating_duration_since(self.base).as_millis() as u64;
+            return Some(Duration::from_millis(edge_ms - now_ms));
+        }
+        // Only overflow entries remain: wake a revolution out; the sweep
+        // in `expire` will cascade them into slots.
+        Some(Duration::from_millis(SLOTS as u64 * SLOT_MS / 2))
+    }
+
+    /// Advance to `now`, collecting every token whose hinted deadline has
+    /// passed. The caller must recheck each token's real deadline.
+    pub fn expire(&mut self, now: Instant) -> Vec<u64> {
+        let mut due = Vec::new();
+        if self.len == 0 {
+            self.cursor = self.tick_of(now);
+            return due;
+        }
+        let now_tick = self.tick_of(now);
+        while self.cursor <= now_tick {
+            let slot = (self.cursor % SLOTS as u64) as usize;
+            // Entries in this slot are due unless they belong to a later
+            // revolution (wrapped): keep those.
+            let mut keep = Vec::new();
+            for e in self.slots[slot].drain(..) {
+                if e.deadline <= now {
+                    due.push(e.token);
+                    self.len -= 1;
+                } else {
+                    keep.push(e);
+                }
+            }
+            self.slots[slot] = keep;
+            self.cursor += 1;
+            // Sweep overflow entries that now fit the next revolution.
+            if self.cursor.is_multiple_of(SLOTS as u64) {
+                let horizon = self.cursor + SLOTS as u64;
+                let pending = std::mem::take(&mut self.overflow);
+                for e in pending {
+                    let tick = self.tick_of(e.deadline).max(self.cursor);
+                    if tick < horizon {
+                        self.slots[(tick % SLOTS as u64) as usize].push(e);
+                    } else {
+                        self.overflow.push(e);
+                    }
+                }
+            }
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_entries_fire_and_future_ones_wait() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        w.insert(1, t0 + Duration::from_millis(10));
+        w.insert(2, t0 + Duration::from_millis(900));
+        assert_eq!(w.len(), 2);
+        // 10 ms in: only token 1 is due.
+        let fired = w.expire(t0 + Duration::from_millis(200));
+        assert_eq!(fired, vec![1]);
+        assert_eq!(w.len(), 1);
+        // Token 2 still waits, and the reported timeout reaches past it
+        // but never beyond a slot of slack.
+        let gap = w.next_timeout(t0 + Duration::from_millis(200)).unwrap();
+        assert!(gap >= Duration::from_millis(700 - SLOT_MS), "{gap:?}");
+        assert!(gap <= Duration::from_millis(700 + 2 * SLOT_MS), "{gap:?}");
+        let fired = w.expire(t0 + Duration::from_millis(1500));
+        assert_eq!(fired, vec![2]);
+        assert!(w.is_empty());
+        assert_eq!(w.next_timeout(t0 + Duration::from_millis(1500)), None);
+    }
+
+    #[test]
+    fn overdue_hints_report_a_zero_timeout() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        w.insert(7, t0 + Duration::from_millis(1));
+        let gap = w.next_timeout(t0 + Duration::from_millis(500)).unwrap();
+        assert_eq!(gap, Duration::ZERO);
+    }
+
+    #[test]
+    fn entries_beyond_one_revolution_cascade_from_overflow() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        let far = Duration::from_millis(3 * SLOTS as u64 * SLOT_MS);
+        w.insert(9, t0 + far);
+        // Well before the deadline nothing fires, however often we sweep.
+        let mut probe = t0;
+        for _ in 0..10 {
+            probe += far / 12;
+            assert!(w.expire(probe).is_empty(), "fired early at {probe:?}");
+            assert!(w.next_timeout(probe).is_some());
+        }
+        let fired = w.expire(t0 + far + Duration::from_millis(2 * SLOT_MS));
+        assert_eq!(fired, vec![9]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn duplicate_hints_for_one_token_all_fire() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        w.insert(3, t0 + Duration::from_millis(10));
+        w.insert(3, t0 + Duration::from_millis(20));
+        let fired = w.expire(t0 + Duration::from_millis(300));
+        assert_eq!(fired, vec![3, 3]);
+    }
+
+    #[test]
+    fn same_slot_entries_with_mixed_deadlines_split_correctly() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        // Two entries hash to the same slot index, one revolution apart.
+        let near = Duration::from_millis(SLOT_MS * 2);
+        let wrapped = near + Duration::from_millis(SLOTS as u64 * SLOT_MS);
+        w.insert(1, t0 + near);
+        w.insert(2, t0 + wrapped);
+        let fired = w.expire(t0 + near + Duration::from_millis(SLOT_MS));
+        assert_eq!(fired, vec![1], "the wrapped entry must not fire early");
+        let fired = w.expire(t0 + wrapped + Duration::from_millis(SLOT_MS));
+        assert_eq!(fired, vec![2]);
+    }
+}

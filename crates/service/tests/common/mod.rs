@@ -87,4 +87,19 @@ impl Client {
         assert!(!resp.is_empty(), "server closed the connection");
         resp.trim().to_string()
     }
+
+    /// Write bytes exactly as given — no newline appended. Lifecycle
+    /// tests use this to leave partial lines on the wire.
+    #[allow(dead_code)]
+    pub fn send_raw(&mut self, raw: &str) {
+        self.stream.write_all(raw.as_bytes()).expect("write");
+        self.stream.flush().expect("flush");
+    }
+
+    /// Surrender the underlying stream (e.g. to watch for the server's
+    /// close with a read timeout).
+    #[allow(dead_code)]
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
 }

@@ -118,8 +118,9 @@ fn machine_line(m: &MachineModel) -> Option<String> {
 
 fn parse_machine(fields: &[&str]) -> Result<MachineModel, String> {
     match fields {
-        [name] => MachineModel::builtin(name)
-            .ok_or_else(|| format!("unknown builtin machine {name:?}")),
+        [name] => {
+            MachineModel::builtin(name).ok_or_else(|| format!("unknown builtin machine {name:?}"))
+        }
         ["custom", name, iw, alu_u, mac_u, alu_l, mac_l] => {
             let opt = |s: &str| -> Result<Option<u32>, String> {
                 if s == "-" {
@@ -393,7 +394,8 @@ mod tests {
             ok.replace("node A 1 add 0", "node A 1 add").as_str(),
             ok.replace("n 3\n", "").as_str(),
             ok.replace("edge 0 0 1", "edge 0 0 0").as_str(), // zero-delay self-loop
-            ok.replace("mode bulk", "mode bulk\nmachine dsp56k").as_str(),
+            ok.replace("mode bulk", "mode bulk\nmachine dsp56k")
+                .as_str(),
             ok.replace("mode bulk", "mode bulk\nmachine custom x 0 - - - -")
                 .as_str(),
             ok.replace("mode bulk", "mode bulk\nmachine scalar\nmachine vliw2")
