@@ -20,6 +20,11 @@
 //! Options for `explore` (a directory sweeps every `*.loop` inside it):
 //!   --budget L      code-size budget (instructions)
 //!   --registers P   conditional-register budget
+//!   --max-registers R  total-register cap (conditional + maxlive) for
+//!                   the frontier; points over the cap are listed but
+//!                   excluded from the non-dominated set
+//!   --frontier      also print the four-axis non-dominated frontier
+//!                   (code size, period, conditional registers, maxlive)
 //!   --max-unfold F  largest factor to consider (default 4)
 //!   --parallel T    worker threads for the memoized sweep (default 1)
 //!   --json          emit the machine-readable suite report instead of tables
@@ -107,16 +112,18 @@ impl Args {
         let mut it = raw.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value =
-                    if matches!(name, "print" | "json" | "shrink" | "strict" | "degraded-ok") {
-                        None
-                    } else {
-                        Some(
-                            it.next()
-                                .ok_or_else(|| format!("--{name} needs a value"))?
-                                .clone(),
-                        )
-                    };
+                let value = if matches!(
+                    name,
+                    "print" | "json" | "shrink" | "strict" | "degraded-ok" | "frontier"
+                ) {
+                    None
+                } else {
+                    Some(
+                        it.next()
+                            .ok_or_else(|| format!("--{name} needs a value"))?
+                            .clone(),
+                    )
+                };
                 flags.push((name.to_string(), value));
             } else {
                 return Err(format!("unexpected argument '{a}'"));
@@ -232,20 +239,21 @@ fn explore_params(args: &Args) -> Result<(u64, usize, usize), String> {
     Ok((n, max_f, threads))
 }
 
-fn print_points(points: &[cred_explore::TradeoffPoint]) {
+fn print_points(points: &[cred_explore::ParetoPoint]) {
     println!(
-        "{:>3} {:>6} {:>11} {:>10} {:>12} {:>10}",
-        "f", "M_r", "plain size", "CRED size", "period", "registers"
+        "{:>3} {:>6} {:>11} {:>10} {:>12} {:>8} {:>8}",
+        "f", "M_r", "plain size", "CRED size", "period", "P_r", "maxlive"
     );
     for p in points {
         println!(
-            "{:>3} {:>6} {:>11} {:>10} {:>12} {:>10}",
+            "{:>3} {:>6} {:>11} {:>10} {:>12} {:>8} {:>8}",
             p.f,
             p.m_r,
             p.plain_size,
-            p.cred_size,
-            p.iteration_period.to_string(),
-            p.registers
+            p.objectives.cred_size,
+            p.objectives.iteration_period.to_string(),
+            p.objectives.cond_registers,
+            p.objectives.maxlive
         );
     }
 }
@@ -327,6 +335,12 @@ fn cmd_explore(path: &str, g: &Dfg, args: &Args) -> Result<ExitCode, String> {
         .trip_count(n)
         .threads(threads)
         .strict(opts.strict);
+    if let Some(cap) = args.get("max-registers") {
+        let cap: usize = cap
+            .parse()
+            .map_err(|_| "--max-registers: bad number".to_string())?;
+        request = request.max_registers(cap);
+    }
     if let Some(d) = opts.deadline {
         request = request.deadline(d);
     }
@@ -340,6 +354,17 @@ fn cmd_explore(path: &str, g: &Dfg, args: &Args) -> Result<ExitCode, String> {
     };
     let report = &resp.report;
     print_points(&resp.points);
+    if args.has("frontier") {
+        match resp.opts.max_registers {
+            Some(cap) => println!("\nnon-dominated frontier (total registers <= {cap}):"),
+            None => println!("\nnon-dominated frontier:"),
+        }
+        if resp.frontier.is_empty() {
+            println!("  (empty: every point exceeds the register cap)");
+        } else {
+            print_points(&resp.frontier);
+        }
+    }
     for o in report.degraded() {
         if let cred_explore::PointStatus::Degraded(ev) = &o.status {
             eprintln!("credc: degraded: {ev}");
@@ -364,7 +389,7 @@ fn cmd_explore(path: &str, g: &Dfg, args: &Args) -> Result<ExitCode, String> {
         match cred_explore::best_under_code_budget(g, budget, max_f, n, DecMode::Bulk) {
             Some(p) => println!(
                 "\nbest under {budget} instructions: f = {}, period {}, size {}",
-                p.f, p.iteration_period, p.cred_size
+                p.f, p.objectives.iteration_period, p.objectives.cred_size
             ),
             None => println!("\nno configuration fits {budget} instructions"),
         }
@@ -376,7 +401,7 @@ fn cmd_explore(path: &str, g: &Dfg, args: &Args) -> Result<ExitCode, String> {
         match cred_explore::best_under_register_budget(g, regs, max_f, n, DecMode::Bulk) {
             Some(p) => println!(
                 "best under {regs} registers: f = {}, period {}, uses {}",
-                p.f, p.iteration_period, p.registers
+                p.f, p.objectives.iteration_period, p.objectives.cond_registers
             ),
             None => println!("no configuration fits {regs} registers"),
         }

@@ -148,6 +148,45 @@ fn bad_flag_combinations_fail_with_typed_errors() {
 }
 
 #[test]
+fn explore_frontier_and_register_cap() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let kernel = format!("{root}/kernels/figure3.loop");
+    // --frontier appends the non-dominated table with the maxlive column.
+    let out = run(&["explore", &kernel, "--max-unfold", "3", "--frontier"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("non-dominated frontier"), "{stdout}");
+    assert!(stdout.contains("maxlive"), "{stdout}");
+    // An unsatisfiable register cap empties the frontier but still lists
+    // every swept point.
+    let out = run(&[
+        "explore",
+        &kernel,
+        "--max-unfold",
+        "3",
+        "--frontier",
+        "--max-registers",
+        "0",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("total registers <= 0"), "{stdout}");
+    assert!(stdout.contains("empty"), "{stdout}");
+    // --json emits the v3 objectives object, not the flat registers key.
+    let out = run(&["explore", &kernel, "--max-unfold", "2", "--json"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"objectives\""), "{stdout}");
+    assert!(stdout.contains("\"maxlive\""), "{stdout}");
+    assert!(stdout.contains("\"cond_registers\""), "{stdout}");
+    assert!(!stdout.contains("\"registers\""), "{stdout}");
+    assert_clean_failure(
+        &run(&["explore", &kernel, "--max-registers", "many"]),
+        "bad number",
+    );
+}
+
+#[test]
 fn explore_accepts_resilience_flags() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let kernel = format!("{root}/kernels/figure3.loop");
@@ -212,7 +251,7 @@ fn serve_subcommand_runs_and_shuts_down_cleanly() {
     };
     let resp = request("{\"type\":\"explore\",\"kernel\":\"figure3\",\"max_f\":2,\"n\":31}");
     assert!(resp.contains("\"ok\":true"), "{resp}");
-    assert!(resp.contains("\"schema_version\":2"), "{resp}");
+    assert!(resp.contains("\"schema_version\":3"), "{resp}");
     let resp = request("{\"type\":\"shutdown\"}");
     assert!(resp.contains("\"ok\":true"), "{resp}");
 

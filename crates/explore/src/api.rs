@@ -7,14 +7,19 @@
 //! the sweep parameters ([`ExploreOptions`]), and the resource limits
 //! (deadline / work units / cancellation), evaluated by [`run`] or
 //! [`run_with`] into an [`ExploreResponse`] carrying the points, the
-//! Pareto frontier, the per-factor outcome report, and cache statistics.
-//! The CLI, the suite runner, and the evaluation server (`cred-service`)
-//! all speak this API; the legacy functions survive only as
-//! `#[deprecated]` wrappers.
+//! four-axis non-dominated frontier, the per-factor outcome report, and
+//! cache statistics. The CLI, the suite runner, and the evaluation
+//! server (`cred-service`) all speak this API; the legacy functions
+//! survive only as `#[deprecated]` wrappers.
 //!
 //! Results are bit-identical across every path: the engine underneath is
 //! the resilient sweep of PR 4, whose points are proven equal to the
 //! serial reference pipeline by differential tests.
+//!
+//! The wire helpers at the bottom ([`point_json`], [`exact_json`]) emit
+//! the schema v3 shapes; their `_v2` twins reproduce the v2 bytes for
+//! the service's compatibility path, so nothing outside this crate
+//! needs the deprecated flat point type.
 //!
 //! [`run`]: ExploreRequest::run
 //! [`run_with`]: ExploreRequest::run_with
@@ -27,10 +32,60 @@ use cred_codegen::DecMode;
 use cred_dfg::Dfg;
 use cred_exact::{exact_schedule_budgeted, MachineModel};
 use cred_resilience::{Budget, CancelToken, DegradationEvent, DegradeCause, Exhausted};
+use cred_schedule::KernelSchedule;
 
 use crate::cache::{PlanSource, SweepCache};
 use crate::error::CredError;
-use crate::{pareto, resilient_sweep, PointStatus, SweepReport, TradeoffPoint};
+use crate::{frontier, resilient_sweep, ParetoPoint, PointStatus, SweepReport};
+
+/// Scalarization weights over the four [`Objectives`] axes, used by
+/// [`ExploreResponse::best`] to pick a single recommended point off the
+/// frontier. The weights do not change which points are computed or
+/// which survive dominance — only the tie-break among survivors — but
+/// they are echoed in the response, so they participate in the coalesce
+/// key like every other option.
+///
+/// [`Objectives`]: crate::Objectives
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectiveWeights {
+    /// Weight on CRED code size (instructions).
+    pub cred_size: u16,
+    /// Weight on the iteration period (cycles per iteration).
+    pub iteration_period: u16,
+    /// Weight on conditional registers (the paper's `P_r`).
+    pub cond_registers: u16,
+    /// Weight on peak data-register pressure.
+    pub maxlive: u16,
+}
+
+impl Default for ObjectiveWeights {
+    fn default() -> Self {
+        ObjectiveWeights {
+            cred_size: 1,
+            iteration_period: 1,
+            cond_registers: 1,
+            maxlive: 1,
+        }
+    }
+}
+
+impl ObjectiveWeights {
+    /// The weights packed into one integer, for coalesce keys.
+    pub fn packed(&self) -> u64 {
+        ((self.cred_size as u64) << 48)
+            | ((self.iteration_period as u64) << 32)
+            | ((self.cond_registers as u64) << 16)
+            | self.maxlive as u64
+    }
+
+    /// The weighted scalar cost of one point (lower is better).
+    fn score(&self, p: &ParetoPoint) -> f64 {
+        self.cred_size as f64 * p.objectives.cred_size as f64
+            + self.iteration_period as f64 * p.objectives.iteration_period.to_f64()
+            + self.cond_registers as f64 * p.objectives.cond_registers as f64
+            + self.maxlive as f64 * p.objectives.maxlive as f64
+    }
+}
 
 /// The sweep parameters of an [`ExploreRequest`]: everything that shapes
 /// *what* is computed (and therefore everything a cache or coalescing key
@@ -56,6 +111,13 @@ pub struct ExploreOptions {
     /// [`ExploreResponse::exact`]. `None` skips the exact pass entirely
     /// (the historical, retiming-only behavior).
     pub machine: Option<MachineModel>,
+    /// Cap on total registers (conditional + maxlive): points exceeding
+    /// it are excluded from [`ExploreResponse::frontier`] (they still
+    /// appear in `points`, so the caller sees what the cap rejected).
+    /// `None` leaves the frontier uncapped.
+    pub max_registers: Option<usize>,
+    /// Scalarization weights for [`ExploreResponse::best`].
+    pub weights: ObjectiveWeights,
 }
 
 impl Default for ExploreOptions {
@@ -67,6 +129,8 @@ impl Default for ExploreOptions {
             threads: 1,
             strict: false,
             machine: None,
+            max_registers: None,
+            weights: ObjectiveWeights::default(),
         }
     }
 }
@@ -93,6 +157,7 @@ pub fn mode_code(mode: DecMode) -> u8 {
 ///     .run()
 ///     .expect("unlimited budget cannot exhaust");
 /// assert_eq!(resp.points.len(), 3);
+/// assert!(!resp.frontier.is_empty());
 /// assert!(resp.report.is_clean());
 /// ```
 #[derive(Debug)]
@@ -166,6 +231,19 @@ impl ExploreRequest {
         self
     }
 
+    /// Cap total registers for the frontier (see
+    /// [`ExploreOptions::max_registers`]).
+    pub fn max_registers(mut self, cap: usize) -> Self {
+        self.opts.max_registers = Some(cap);
+        self
+    }
+
+    /// Scalarization weights for [`ExploreResponse::best`].
+    pub fn weights(mut self, weights: ObjectiveWeights) -> Self {
+        self.opts.weights = weights;
+        self
+    }
+
     /// Wall-clock budget for the whole request, measured from
     /// [`run`](Self::run).
     pub fn deadline(mut self, limit: Duration) -> Self {
@@ -207,7 +285,7 @@ impl ExploreRequest {
     /// computed it and must not be served to another key-equal request
     /// with different limits; a sharing layer has to recompute those
     /// (see the service's coalescer).
-    pub fn coalesce_key(&self) -> (u64, usize, u64, u8, u64) {
+    pub fn coalesce_key(&self) -> (u64, usize, u64, u8, u64, u64, u64) {
         (
             self.graph.fingerprint(),
             self.opts.max_f,
@@ -220,6 +298,13 @@ impl ExploreRequest {
                 .machine
                 .as_ref()
                 .map_or(0, MachineModel::fingerprint),
+            // The register cap shapes the embedded frontier; 0 encodes
+            // "uncapped" and real caps are shifted by one.
+            self.opts.max_registers.map_or(0, |cap| cap as u64 + 1),
+            // The weights only steer `best()`, but they are echoed in
+            // the shared response, so weight-distinct requests must not
+            // coalesce onto each other.
+            self.opts.weights.packed(),
         )
     }
 
@@ -294,7 +379,7 @@ impl ExploreRequest {
             Some(m) => Some(exact_summary(&self.graph, m, &budget)?),
         };
         Ok(ExploreResponse {
-            pareto: pareto(&points),
+            frontier: frontier(&points, self.opts.max_registers),
             points,
             report,
             cache: CacheStats::of(cache),
@@ -308,22 +393,29 @@ impl ExploreRequest {
 ///
 /// The ladder mirrors [`crate::cache::compute_plan_budgeted`]:
 ///
-/// 1. run the branch-and-bound search under `budget`;
+/// 1. run the branch-and-bound search under `budget`; on success the
+///    summary carries the proven II *and* the maxlive of the proven
+///    modulo schedule;
 /// 2. if it exhausts (deadline, work units, injected fault) **or
 ///    panics**, fall back to the resource-*blind* retiming minimum — the
 ///    II every machine can only match or exceed — and record a
 ///    [`DegradationEvent`] in [`ExactSummary::source`] so the caller
-///    knows the number is a lower bound, not a proof;
+///    knows the number is a lower bound, not a proof (no schedule exists
+///    on this path, so `maxlive` is absent);
 /// 3. cancellation propagates: the caller asked the whole request to
 ///    stop.
 fn exact_summary(g: &Dfg, m: &MachineModel, budget: &Budget) -> Result<ExactSummary, CredError> {
     let cause = match catch_unwind(AssertUnwindSafe(|| exact_schedule_budgeted(g, m, budget))) {
         Ok(Ok(sched)) => {
+            let maxlive = KernelSchedule::modulo(g, &sched.slot, &sched.stage, sched.ii)
+                .maxlive()
+                .maxlive;
             return Ok(ExactSummary {
                 machine: m.name.clone(),
                 ii: sched.ii,
+                maxlive: Some(maxlive),
                 source: PlanSource::Solver,
-            })
+            });
         }
         Ok(Err(Exhausted::Cancelled)) => {
             return Err(CredError::BudgetExhausted(Exhausted::Cancelled))
@@ -338,6 +430,7 @@ fn exact_summary(g: &Dfg, m: &MachineModel, budget: &Budget) -> Result<ExactSumm
     Ok(ExactSummary {
         machine: m.name.clone(),
         ii: cred_retime::min_period_retiming(g).period,
+        maxlive: None,
         source: PlanSource::Reference(event),
     })
 }
@@ -352,6 +445,10 @@ pub struct ExactSummary {
     /// [`source`](Self::source) is degraded, the resource-blind retiming
     /// lower bound the ladder fell back to.
     pub ii: u64,
+    /// Peak data-register pressure of the proven modulo schedule; absent
+    /// when the degradation ladder substituted the unconstrained
+    /// fallback (a lower bound has no schedule to measure).
+    pub maxlive: Option<usize>,
     /// Whether the exact search finished ([`PlanSource::Solver`]) or the
     /// degradation ladder substituted the unconstrained fallback
     /// ([`PlanSource::Reference`], carrying the event that says why).
@@ -391,10 +488,11 @@ pub struct ExploreResponse {
     /// The produced trade-off points, in factor order. Factors whose
     /// evaluation failed or was cut off by the budget are absent (see
     /// [`report`](Self::report)).
-    pub points: Vec<TradeoffPoint>,
-    /// The (CRED code size, iteration period)-optimal frontier of
-    /// [`points`](Self::points).
-    pub pareto: Vec<TradeoffPoint>,
+    pub points: Vec<ParetoPoint>,
+    /// The non-dominated subset of [`points`](Self::points) over the
+    /// four objective axes, capped by
+    /// [`ExploreOptions::max_registers`] when one was set.
+    pub frontier: Vec<ParetoPoint>,
     /// Per-factor outcomes, including degradation events and isolated
     /// failures.
     pub report: SweepReport,
@@ -407,6 +505,19 @@ pub struct ExploreResponse {
 }
 
 impl ExploreResponse {
+    /// The recommended point: the frontier survivor minimizing the
+    /// weighted objective sum under [`ExploreOptions::weights`]. `None`
+    /// iff the frontier is empty (no points, or the register cap
+    /// excluded all of them). Ties resolve to the smallest factor.
+    pub fn best(&self) -> Option<&ParetoPoint> {
+        let w = &self.opts.weights;
+        self.frontier.iter().min_by(|a, b| {
+            w.score(a)
+                .partial_cmp(&w.score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
     /// The degradation events recorded while producing this response.
     pub fn degradations(&self) -> Vec<&DegradationEvent> {
         self.report
@@ -440,26 +551,103 @@ impl ExploreResponse {
     }
 }
 
-/// Serialize one point in the stable v1 JSON shape shared by the suite
-/// report and the service wire format.
-pub fn point_json(p: &TradeoffPoint) -> String {
+/// Serialize one point in the schema v3 JSON shape shared by the suite
+/// report and the service wire format: the sweep coordinates plus a
+/// nested `objectives` object.
+pub fn point_json(p: &ParetoPoint) -> String {
+    format!(
+        "{{ \"f\": {}, \"m_r\": {}, \"plain_size\": {}, \"objectives\": {{ \
+         \"cred_size\": {}, \"period\": {{ \"num\": {}, \"den\": {} }}, \
+         \"cond_registers\": {}, \"maxlive\": {} }} }}",
+        p.f,
+        p.m_r,
+        p.plain_size,
+        p.objectives.cred_size,
+        p.objectives.iteration_period.num(),
+        p.objectives.iteration_period.den(),
+        p.objectives.cond_registers,
+        p.objectives.maxlive
+    )
+}
+
+/// Serialize one point in the flat schema v2 shape, byte-identical to
+/// what v2 servers emitted. Only the service's v2 compatibility path
+/// should need this.
+pub fn point_json_v2(p: &ParetoPoint) -> String {
     format!(
         "{{ \"f\": {}, \"m_r\": {}, \"plain_size\": {}, \"cred_size\": {}, \
          \"period\": {{ \"num\": {}, \"den\": {} }}, \"registers\": {} }}",
         p.f,
         p.m_r,
         p.plain_size,
-        p.cred_size,
-        p.iteration_period.num(),
-        p.iteration_period.den(),
-        p.registers
+        p.objectives.cred_size,
+        p.objectives.iteration_period.num(),
+        p.objectives.iteration_period.den(),
+        p.objectives.cond_registers
     )
 }
 
-/// Serialize an [`ExactSummary`] in the stable JSON shape shared by the
-/// CLI and the service wire format. `source` renders as `"solver"` or as
-/// a degradation object naming the site and cause.
+/// Render the `"points":[...],"pareto":[...]` fragment of a schema v2
+/// explore response, byte-identical to what v2 servers emitted: flat v2
+/// points, and the historical two-axis (CRED size, iteration period)
+/// frontier under the v2 key name.
+#[allow(deprecated)]
+pub fn wire_v2_points(resp: &ExploreResponse) -> String {
+    let flat: Vec<crate::TradeoffPoint> =
+        resp.points.iter().map(crate::TradeoffPoint::from).collect();
+    let two_axis = crate::pareto(&flat);
+    let fragment = |points: &[crate::TradeoffPoint]| {
+        points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{ \"f\": {}, \"m_r\": {}, \"plain_size\": {}, \"cred_size\": {}, \
+                     \"period\": {{ \"num\": {}, \"den\": {} }}, \"registers\": {} }}",
+                    p.f,
+                    p.m_r,
+                    p.plain_size,
+                    p.cred_size,
+                    p.iteration_period.num(),
+                    p.iteration_period.den(),
+                    p.registers
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "\"points\":[{}],\"pareto\":[{}]",
+        fragment(&flat),
+        fragment(&two_axis)
+    )
+}
+
+/// Serialize an [`ExactSummary`] in the schema v3 JSON shape shared by
+/// the CLI and the service wire format. `source` renders as `"solver"`
+/// or as a degradation object naming the site and cause; `maxlive` is
+/// `null` exactly when the source is a fallback.
 pub fn exact_json(e: &ExactSummary) -> String {
+    let source = match &e.source {
+        PlanSource::Solver => "\"solver\"".to_string(),
+        PlanSource::Reference(ev) => format!(
+            "{{ \"fallback\": \"retiming-lower-bound\", \"site\": {:?}, \"cause\": {:?} }}",
+            ev.site,
+            ev.cause.to_string()
+        ),
+    };
+    let maxlive = match e.maxlive {
+        Some(m) => m.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{ \"machine\": {:?}, \"ii\": {}, \"maxlive\": {}, \"source\": {} }}",
+        e.machine, e.ii, maxlive, source
+    )
+}
+
+/// Serialize an [`ExactSummary`] in the schema v2 shape (no `maxlive`
+/// key), byte-identical to what v2 servers emitted.
+pub fn exact_json_v2(e: &ExactSummary) -> String {
     let source = match &e.source {
         PlanSource::Solver => "\"solver\"".to_string(),
         PlanSource::Reference(ev) => format!(
@@ -495,7 +683,7 @@ mod tests {
             resp.points,
             crate::sweep_reference(&g, 4, 60, DecMode::Bulk)
         );
-        assert_eq!(resp.pareto, pareto(&resp.points));
+        assert_eq!(resp.frontier, frontier(&resp.points, None));
         assert!(resp.report.is_clean());
         assert!(resp.degradations().is_empty() && resp.failures().is_empty());
         assert_eq!(resp.cache.misses, 4);
@@ -525,6 +713,73 @@ mod tests {
                 .unwrap();
             assert_eq!(par.points, serial.points, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn register_cap_shapes_the_frontier_not_the_points() {
+        let g = sample();
+        let open = ExploreRequest::new(g.clone()).max_f(4).run().unwrap();
+        let cap = open
+            .points
+            .iter()
+            .map(|p| p.objectives.total_registers())
+            .min()
+            .unwrap();
+        let capped = ExploreRequest::new(g)
+            .max_f(4)
+            .max_registers(cap)
+            .run()
+            .unwrap();
+        // Points are the cap-independent sweep; only the frontier shrinks.
+        assert_eq!(capped.points, open.points);
+        assert!(!capped.frontier.is_empty());
+        for p in &capped.frontier {
+            assert!(p.objectives.total_registers() <= cap);
+        }
+        assert!(capped.frontier.len() <= open.points.len());
+    }
+
+    #[test]
+    fn best_follows_the_weights() {
+        let g = sample();
+        // All weight on code size: best must minimize cred_size over the
+        // frontier. All weight on period: best must minimize the period.
+        let size_first = ExploreRequest::new(g.clone())
+            .max_f(4)
+            .weights(ObjectiveWeights {
+                cred_size: 1,
+                iteration_period: 0,
+                cond_registers: 0,
+                maxlive: 0,
+            })
+            .run()
+            .unwrap();
+        let b = size_first.best().expect("non-empty frontier");
+        let min_size = size_first
+            .frontier
+            .iter()
+            .map(|p| p.objectives.cred_size)
+            .min()
+            .unwrap();
+        assert_eq!(b.objectives.cred_size, min_size);
+        let speed_first = ExploreRequest::new(g)
+            .max_f(4)
+            .weights(ObjectiveWeights {
+                cred_size: 0,
+                iteration_period: 100,
+                cond_registers: 0,
+                maxlive: 0,
+            })
+            .run()
+            .unwrap();
+        let b = speed_first.best().expect("non-empty frontier");
+        let min_period = speed_first
+            .frontier
+            .iter()
+            .map(|p| p.objectives.iteration_period)
+            .min()
+            .unwrap();
+        assert_eq!(b.objectives.iteration_period, min_period);
     }
 
     #[test]
@@ -613,6 +868,33 @@ mod tests {
                 .coalesce_key(),
             key
         );
+        // The register cap and the weights shape the response (frontier
+        // and best()), so they split the key too.
+        assert_ne!(
+            ExploreRequest::new(g.clone())
+                .max_f(3)
+                .max_registers(8)
+                .coalesce_key(),
+            key
+        );
+        assert_ne!(
+            ExploreRequest::new(g.clone())
+                .max_f(3)
+                .weights(ObjectiveWeights {
+                    cred_size: 2,
+                    ..ObjectiveWeights::default()
+                })
+                .coalesce_key(),
+            key
+        );
+        // A cap of zero is a real cap, distinct from "uncapped".
+        assert_ne!(
+            ExploreRequest::new(g.clone())
+                .max_f(3)
+                .max_registers(0)
+                .coalesce_key(),
+            key
+        );
         // The machine is a compute input too: naming one changes the
         // key, and different machines get different keys.
         let scalar = ExploreRequest::new(g.clone())
@@ -634,7 +916,8 @@ mod tests {
         let plain = ExploreRequest::new(sample()).max_f(2).run().unwrap();
         assert!(plain.exact.is_none());
         // With one, the II is the solver's proof — equal to what the
-        // standalone exact entry point computes.
+        // standalone exact entry point computes — and the proven modulo
+        // schedule's register pressure rides along.
         let m = MachineModel::builtin("scalar").unwrap();
         let resp = ExploreRequest::new(sample())
             .max_f(2)
@@ -643,8 +926,13 @@ mod tests {
             .unwrap();
         let exact = resp.exact.expect("machine was named");
         assert_eq!(exact.machine, "scalar");
-        assert_eq!(exact.ii, cred_exact::exact_schedule(&sample(), &m).ii);
+        let sched = cred_exact::exact_schedule(&sample(), &m);
+        assert_eq!(exact.ii, sched.ii);
         assert!(exact.source.is_fast());
+        let expected = KernelSchedule::modulo(&sample(), &sched.slot, &sched.stage, sched.ii)
+            .maxlive()
+            .maxlive;
+        assert_eq!(exact.maxlive, Some(expected));
         // The unconstrained machine degenerates to the retiming minimum.
         let un = ExploreRequest::new(sample())
             .machine(MachineModel::unconstrained())
@@ -670,6 +958,7 @@ mod tests {
             .unwrap();
         let exact = resp.exact.expect("machine was named");
         assert_eq!(exact.ii, cred_retime::min_period_retiming(&g).period);
+        assert_eq!(exact.maxlive, None, "a lower bound has no schedule");
         match &exact.source {
             PlanSource::Reference(ev) => {
                 assert!(ev.site.contains("explore.exact"), "{}", ev.site);
@@ -677,16 +966,50 @@ mod tests {
             }
             PlanSource::Solver => panic!("starved search cannot claim a proof"),
         }
-        // The summary JSON names the fallback.
+        // The summary JSON names the fallback and nulls maxlive.
         let j = exact_json(&exact);
         assert!(j.contains("retiming-lower-bound"), "{j}");
+        assert!(j.contains("\"maxlive\": null"), "{j}");
         // Cancellation is not degraded around: it propagates as a typed
         // error even when only the exact pass observes it.
         let solver_json = exact_json(&ExactSummary {
             machine: "scalar".into(),
             ii: 5,
+            maxlive: Some(4),
             source: PlanSource::Solver,
         });
         assert!(solver_json.contains("\"solver\""), "{solver_json}");
+        assert!(solver_json.contains("\"maxlive\": 4"), "{solver_json}");
+    }
+
+    #[test]
+    fn wire_shapes_cover_v3_and_v2() {
+        let g = sample();
+        let resp = ExploreRequest::new(g)
+            .max_f(3)
+            .trip_count(60)
+            .run()
+            .unwrap();
+        let p = &resp.points[0];
+        let v3 = point_json(p);
+        assert!(v3.contains("\"objectives\""), "{v3}");
+        assert!(v3.contains("\"cond_registers\""), "{v3}");
+        assert!(v3.contains("\"maxlive\""), "{v3}");
+        let v2 = point_json_v2(p);
+        assert!(v2.contains("\"registers\""), "{v2}");
+        assert!(!v2.contains("objectives"), "{v2}");
+        assert!(!v2.contains("maxlive"), "{v2}");
+        let frag = wire_v2_points(&resp);
+        assert!(frag.starts_with("\"points\":["), "{frag}");
+        assert!(frag.contains("],\"pareto\":["), "{frag}");
+        assert!(!frag.contains("maxlive"), "{frag}");
+        // The v2 exact shape has no maxlive key either.
+        let e = ExactSummary {
+            machine: "scalar".into(),
+            ii: 6,
+            maxlive: Some(3),
+            source: PlanSource::Solver,
+        };
+        assert!(!exact_json_v2(&e).contains("maxlive"));
     }
 }

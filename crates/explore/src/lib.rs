@@ -9,26 +9,30 @@
 //!
 //! * [`ExploreRequest`] / [`ExploreResponse`] — **the** exploration API:
 //!   a builder holding the kernel, the sweep parameters, and the resource
-//!   limits, evaluated into one [`TradeoffPoint`] per unfolding factor
-//!   plus the Pareto frontier, the per-factor outcome report, and cache
-//!   statistics. The CLI, the suite runner, and the `cred-service`
-//!   evaluation server all go through it;
-//! * [`pareto`] — filter to the (code size, iteration period)-optimal
-//!   frontier;
+//!   limits, evaluated into one [`ParetoPoint`] per unfolding factor —
+//!   each carrying the four [`Objectives`] (CRED code size, iteration
+//!   period, conditional registers `P_r`, data-register pressure
+//!   `maxlive`) — plus the non-dominated frontier over all four axes,
+//!   the per-factor outcome report, and cache statistics. The CLI, the
+//!   suite runner, and the `cred-service` evaluation server all go
+//!   through it;
+//! * [`frontier`] — filter to the non-dominated set over the four
+//!   objective axes, optionally capped by a total-register budget;
 //! * [`best_under_code_budget`] / [`best_under_register_budget`] — the two
 //!   constrained searches the paper sketches ("find the maximum
 //!   performance when the number of conditional registers are limited");
 //! * [`sweep_reference`] — the independent per-point reference pipeline,
 //!   kept as the differential-testing oracle and benchmark baseline;
 //! * [`suite`] — batch exploration over a directory of `.loop` kernels
-//!   with machine-readable JSON output (schema version 1);
+//!   with machine-readable JSON output;
 //! * [`CredError`] — the unified front-end error type with stable
 //!   machine-readable codes.
 //!
 //! The pre-redesign entry points (`sweep`, `sweep_cached`, `par_sweep`,
 //! `par_sweep_with`, `par_sweep_resilient`) survive as `#[deprecated]`
-//! wrappers over the same engine and will be removed once out-of-tree
-//! callers migrate.
+//! wrappers over the same engine, as do the two-axis [`pareto`] filter
+//! and the flat [`TradeoffPoint`] it operates on — adapters over
+//! [`ParetoPoint`] until out-of-tree callers migrate.
 
 pub mod api;
 pub mod cache;
@@ -36,8 +40,8 @@ pub mod error;
 pub mod suite;
 
 pub use api::{
-    exact_json, point_json, CacheStats, ExactSummary, ExploreOptions, ExploreRequest,
-    ExploreResponse,
+    exact_json, exact_json_v2, point_json, point_json_v2, wire_v2_points, CacheStats, ExactSummary,
+    ExploreOptions, ExploreRequest, ExploreResponse, ObjectiveWeights,
 };
 pub use error::CredError;
 
@@ -52,13 +56,73 @@ use cred_resilience::{panic_message, Budget, DegradationEvent, Exhausted};
 use cred_retime::span::{
     compact_values, compact_values_wd, min_span_retiming, min_span_retiming_with,
 };
-use cred_retime::{min_period_retiming, min_period_retiming_with};
+use cred_retime::{min_period_retiming, min_period_retiming_with, Retiming};
+use cred_schedule::KernelSchedule;
 use cred_unfold::orders::project_retiming;
 use cred_unfold::unfold;
 
 use cache::{FactorPlan, PlanSource, SweepCache};
 
-/// One evaluated configuration of the (retime, unfold, CRED) pipeline.
+/// The four objective axes of one evaluated configuration, all minimized.
+///
+/// `cred_size` and `iteration_period` are the paper's own trade-off;
+/// `cond_registers` is the paper's `P_r` (conditional registers CRED
+/// needs); `maxlive` is the steady-state data-register pressure of the
+/// scheduled kernel ([`cred_schedule::maxlive`]). Dominance and the
+/// [`frontier`] are defined over all four.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Objectives {
+    /// Code size with CRED (measured, given the chosen decrement mode).
+    pub cred_size: usize,
+    /// Achieved iteration period (unfolded cycle period / f), exact.
+    pub iteration_period: Ratio,
+    /// Conditional registers CRED needs (the paper's `P_r`).
+    pub cond_registers: usize,
+    /// Maximum simultaneously live data values over the kernel cycles.
+    pub maxlive: usize,
+}
+
+impl Objectives {
+    /// Total register demand: conditional registers plus peak data
+    /// pressure — the quantity [`ExploreOptions::max_registers`] caps.
+    pub fn total_registers(&self) -> usize {
+        self.cond_registers + self.maxlive
+    }
+
+    /// `self` dominates `other` iff it is at least as good on every axis
+    /// and strictly better on at least one (all axes minimized).
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let le = self.cred_size <= other.cred_size
+            && self.iteration_period <= other.iteration_period
+            && self.cond_registers <= other.cond_registers
+            && self.maxlive <= other.maxlive;
+        le && (self.cred_size < other.cred_size
+            || self.iteration_period < other.iteration_period
+            || self.cond_registers < other.cond_registers
+            || self.maxlive < other.maxlive)
+    }
+}
+
+/// One evaluated configuration of the (retime, unfold, CRED) pipeline:
+/// the identifying sweep coordinates plus its [`Objectives`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParetoPoint {
+    /// Unfolding factor.
+    pub f: usize,
+    /// Maximum normalized retiming value of the projected retiming.
+    pub m_r: i64,
+    /// Code size without CRED (retime-then-unfold baseline, measured).
+    pub plain_size: usize,
+    /// The four objective axes this configuration achieves.
+    pub objectives: Objectives,
+}
+
+/// One evaluated configuration in the pre-frontier flat shape.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ParetoPoint` (with its typed `Objectives`) instead; \
+            `TradeoffPoint` survives only as a conversion adapter"
+)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TradeoffPoint {
     /// Unfolding factor.
@@ -75,15 +139,38 @@ pub struct TradeoffPoint {
     pub registers: usize,
 }
 
+#[allow(deprecated)]
+impl From<&ParetoPoint> for TradeoffPoint {
+    fn from(p: &ParetoPoint) -> Self {
+        TradeoffPoint {
+            f: p.f,
+            m_r: p.m_r,
+            plain_size: p.plain_size,
+            cred_size: p.objectives.cred_size,
+            iteration_period: p.objectives.iteration_period,
+            registers: p.objectives.cond_registers,
+        }
+    }
+}
+
+/// The maxlive of the sequential kernel `retime_unfold_program` emits for
+/// this plan: `f` retimed body copies, one instruction per cycle.
+fn sequential_maxlive(g: &Dfg, projected: &Retiming, f: usize) -> usize {
+    KernelSchedule::sequential(g, projected, f)
+        .maxlive()
+        .maxlive
+}
+
 /// The retiming used per factor: rate-optimal on the unfolded graph,
 /// projected back (Theorem 4.5), span-minimized and register-compacted.
 ///
 /// This is the *reference* pipeline: each retiming pass recomputes its own
-/// W/D matrices from scratch. [`par_sweep`] reaches the same points through
-/// [`cache::compute_plan`], which shares one W/D computation across the
-/// passes; keeping this path independent makes it a differential-testing
-/// oracle (and the benchmark baseline) for the memoized engine.
-fn point_for_factor(g: &Dfg, f: usize, n: u64, mode: DecMode) -> TradeoffPoint {
+/// W/D matrices from scratch. The [`ExploreRequest`] engine reaches the
+/// same points through [`cache::compute_plan`], which shares one W/D
+/// computation across the passes; keeping this path independent makes it
+/// a differential-testing oracle (and the benchmark baseline) for the
+/// memoized engine.
+fn point_for_factor(g: &Dfg, f: usize, n: u64, mode: DecMode) -> ParetoPoint {
     let u = unfold(g, f);
     let opt = min_period_retiming(&u.graph);
     let r_f = min_span_retiming(&u.graph, opt.period).expect("optimum feasible");
@@ -96,18 +183,22 @@ fn point_for_factor(g: &Dfg, f: usize, n: u64, mode: DecMode) -> TradeoffPoint {
     point_from_plan(g, f, &plan, n, mode)
 }
 
-/// Materialize a [`TradeoffPoint`] from a (possibly cached) plan. Code
-/// generation is deterministic, so identical plans give identical points.
-fn point_from_plan(g: &Dfg, f: usize, plan: &FactorPlan, n: u64, mode: DecMode) -> TradeoffPoint {
+/// Materialize a [`ParetoPoint`] from a (possibly cached) plan. Code
+/// generation and the maxlive analysis are deterministic, so identical
+/// plans give identical points.
+fn point_from_plan(g: &Dfg, f: usize, plan: &FactorPlan, n: u64, mode: DecMode) -> ParetoPoint {
     let plain = retime_unfold_program(g, &plan.projected, f, n);
     let cred = cred_retime_unfold(g, &plan.projected, f, n, mode);
-    TradeoffPoint {
+    ParetoPoint {
         f,
         m_r: plan.projected.max_value(),
         plain_size: plain.code_size(),
-        cred_size: cred.code_size(),
-        iteration_period: Ratio::new(plan.period as i64, f as i64),
-        registers: plan.projected.register_count(),
+        objectives: Objectives {
+            cred_size: cred.code_size(),
+            iteration_period: Ratio::new(plan.period as i64, f as i64),
+            cond_registers: plan.projected.register_count(),
+            maxlive: sequential_maxlive(g, &plan.projected, f),
+        },
     }
 }
 
@@ -120,7 +211,7 @@ fn point_from_plan(g: &Dfg, f: usize, plan: &FactorPlan, n: u64, mode: DecMode) 
 /// baseline the benchmarks measure speedups from — do not "optimize" it
 /// onto the shared engine, or the differential tests stop testing
 /// anything.
-pub fn sweep_reference(g: &Dfg, max_f: usize, n: u64, mode: DecMode) -> Vec<TradeoffPoint> {
+pub fn sweep_reference(g: &Dfg, max_f: usize, n: u64, mode: DecMode) -> Vec<ParetoPoint> {
     (1..=max_f)
         .map(|f| point_for_factor(g, f, n, mode))
         .collect()
@@ -133,8 +224,12 @@ pub fn sweep_reference(g: &Dfg, max_f: usize, n: u64, mode: DecMode) -> Vec<Trad
             `ExploreRequest::new(g).max_f(max_f).trip_count(n).mode(mode).run()?.points` \
             (or `sweep_reference` if you need the differential oracle)"
 )]
+#[allow(deprecated)]
 pub fn sweep(g: &Dfg, max_f: usize, n: u64, mode: DecMode) -> Vec<TradeoffPoint> {
     sweep_points(g, max_f, n, mode, 1, &SweepCache::new())
+        .iter()
+        .map(TradeoffPoint::from)
+        .collect()
 }
 
 /// `sweep` through the memoized engine: plans come from `cache`, so W/D
@@ -145,6 +240,7 @@ pub fn sweep(g: &Dfg, max_f: usize, n: u64, mode: DecMode) -> Vec<TradeoffPoint>
     note = "build an `ExploreRequest` and pass the shared cache to \
             `run_with(&cache)` instead"
 )]
+#[allow(deprecated)]
 pub fn sweep_cached(
     g: &Dfg,
     max_f: usize,
@@ -153,6 +249,9 @@ pub fn sweep_cached(
     cache: &SweepCache,
 ) -> Vec<TradeoffPoint> {
     sweep_points(g, max_f, n, mode, 1, cache)
+        .iter()
+        .map(TradeoffPoint::from)
+        .collect()
 }
 
 /// The sweep sharded across `threads` scoped worker threads, with a
@@ -161,6 +260,7 @@ pub fn sweep_cached(
     since = "0.1.0",
     note = "build an `ExploreRequest` with `.threads(threads)` instead"
 )]
+#[allow(deprecated)]
 pub fn par_sweep(
     g: &Dfg,
     max_f: usize,
@@ -169,6 +269,9 @@ pub fn par_sweep(
     threads: usize,
 ) -> Vec<TradeoffPoint> {
     sweep_points(g, max_f, n, mode, threads, &SweepCache::new())
+        .iter()
+        .map(TradeoffPoint::from)
+        .collect()
 }
 
 /// The sweep sharded across `threads` scoped worker threads sharing
@@ -178,6 +281,7 @@ pub fn par_sweep(
     note = "build an `ExploreRequest` with `.threads(threads)` and pass \
             the shared cache to `run_with(&cache)` instead"
 )]
+#[allow(deprecated)]
 pub fn par_sweep_with(
     g: &Dfg,
     max_f: usize,
@@ -187,6 +291,9 @@ pub fn par_sweep_with(
     cache: &SweepCache,
 ) -> Vec<TradeoffPoint> {
     sweep_points(g, max_f, n, mode, threads, cache)
+        .iter()
+        .map(TradeoffPoint::from)
+        .collect()
 }
 
 /// Engine helper shared by the deprecated wrappers and the constrained
@@ -199,7 +306,7 @@ fn sweep_points(
     mode: DecMode,
     threads: usize,
     cache: &SweepCache,
-) -> Vec<TradeoffPoint> {
+) -> Vec<ParetoPoint> {
     let report = resilient_sweep(g, max_f, n, mode, threads, cache, &Budget::unlimited());
     for o in &report.outcomes {
         if let PointStatus::Failed(msg) = &o.status {
@@ -209,7 +316,7 @@ fn sweep_points(
     report.points()
 }
 
-/// How one unfolding factor fared in a [`par_sweep_resilient`].
+/// How one unfolding factor fared in a resilient sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PointStatus {
     /// The fast path produced the point within budget.
@@ -234,8 +341,8 @@ pub struct PointOutcome {
     pub f: usize,
     /// Status of the computation for this factor.
     pub status: PointStatus,
-    /// The trade-off point, when one was produced.
-    pub point: Option<TradeoffPoint>,
+    /// The evaluated point, when one was produced.
+    pub point: Option<ParetoPoint>,
 }
 
 /// Everything a resilient sweep observed: per-factor outcomes in factor
@@ -248,8 +355,8 @@ pub struct SweepReport {
 
 impl SweepReport {
     /// The successfully produced points (ok or degraded-with-point), in
-    /// factor order — the resilient analogue of [`par_sweep`]'s return.
-    pub fn points(&self) -> Vec<TradeoffPoint> {
+    /// factor order.
+    pub fn points(&self) -> Vec<ParetoPoint> {
         self.outcomes
             .iter()
             .filter_map(|o| o.point.clone())
@@ -395,8 +502,37 @@ pub(crate) fn resilient_sweep(
     SweepReport { outcomes }
 }
 
-/// Non-dominated subset by (CRED code size, iteration period): a point is
-/// kept iff no other point is at least as good in both and better in one.
+/// The non-dominated subset of `points` over the four [`Objectives`]
+/// axes, optionally restricted to points whose
+/// [`total_registers`](Objectives::total_registers) fits `max_registers`.
+/// A point is kept iff no other eligible point [dominates] it; input
+/// (factor) order is preserved.
+///
+/// [dominates]: Objectives::dominates
+pub fn frontier(points: &[ParetoPoint], max_registers: Option<usize>) -> Vec<ParetoPoint> {
+    let fits =
+        |p: &ParetoPoint| max_registers.is_none_or(|cap| p.objectives.total_registers() <= cap);
+    points
+        .iter()
+        .filter(|p| fits(p))
+        .filter(|p| {
+            !points
+                .iter()
+                .any(|q| fits(q) && q.objectives.dominates(&p.objectives))
+        })
+        .cloned()
+        .collect()
+}
+
+/// Non-dominated subset by (CRED code size, iteration period) only — the
+/// pre-frontier two-axis rule, kept for the v2 wire adapter and
+/// out-of-tree callers.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `frontier` (non-dominated over all four objective axes) \
+            or `ExploreResponse::frontier` instead"
+)]
+#[allow(deprecated)]
 pub fn pareto(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
     let dominated = |a: &TradeoffPoint| {
         points.iter().any(|b| {
@@ -416,11 +552,15 @@ pub fn best_under_code_budget(
     max_f: usize,
     n: u64,
     mode: DecMode,
-) -> Option<TradeoffPoint> {
+) -> Option<ParetoPoint> {
     sweep_points(g, max_f, n, mode, 1, &SweepCache::new())
         .into_iter()
-        .filter(|p| p.cred_size <= l_req)
-        .min_by(|a, b| a.iteration_period.cmp(&b.iteration_period))
+        .filter(|p| p.objectives.cred_size <= l_req)
+        .min_by(|a, b| {
+            a.objectives
+                .iteration_period
+                .cmp(&b.objectives.iteration_period)
+        })
 }
 
 /// Best iteration period with at most `p_max` conditional registers.
@@ -434,9 +574,9 @@ pub fn best_under_register_budget(
     max_f: usize,
     n: u64,
     mode: DecMode,
-) -> Option<TradeoffPoint> {
+) -> Option<ParetoPoint> {
     assert!(p_max >= 1, "at least one register is needed");
-    let mut best: Option<TradeoffPoint> = None;
+    let mut best: Option<ParetoPoint> = None;
     for f in 1..=max_f {
         let u = unfold(g, f);
         // One W/D computation serves the period search and every probe of
@@ -456,17 +596,20 @@ pub fn best_under_register_budget(
                 continue;
             }
             let cred = cred_retime_unfold(g, &projected, f, n, mode);
-            let point = TradeoffPoint {
+            let point = ParetoPoint {
                 f,
                 m_r: projected.max_value(),
                 plain_size: retime_unfold_program(g, &projected, f, n).code_size(),
-                cred_size: cred.code_size(),
-                iteration_period: Ratio::new(c, f as i64),
-                registers: projected.register_count(),
+                objectives: Objectives {
+                    cred_size: cred.code_size(),
+                    iteration_period: Ratio::new(c, f as i64),
+                    cond_registers: projected.register_count(),
+                    maxlive: sequential_maxlive(g, &projected, f),
+                },
             };
             let better = best
                 .as_ref()
-                .is_none_or(|b| point.iteration_period < b.iteration_period);
+                .is_none_or(|b| point.objectives.iteration_period < b.objectives.iteration_period);
             if better {
                 best = Some(point);
             }
@@ -494,12 +637,15 @@ mod tests {
         // Iteration period is non-increasing in f (more parallelism can
         // only help when rate-optimal retiming is applied each time).
         for w in pts.windows(2) {
-            assert!(w[1].iteration_period <= w[0].iteration_period);
+            assert!(w[1].objectives.iteration_period <= w[0].objectives.iteration_period);
         }
-        // CRED always at most the plain size.
+        // CRED always at most the plain size, and both register axes are
+        // populated.
         for p in &pts {
-            assert!(p.cred_size <= p.plain_size.max(p.cred_size));
-            assert!(p.registers >= 1);
+            assert!(p.objectives.cred_size <= p.plain_size.max(p.objectives.cred_size));
+            assert!(p.objectives.cond_registers >= 1);
+            assert!(p.objectives.maxlive >= 1);
+            assert!(p.objectives.total_registers() > p.objectives.maxlive);
         }
     }
 
@@ -509,23 +655,91 @@ mod tests {
         let pts = sweep_reference(&g, 4, 60, DecMode::Bulk);
         let l = g.node_count();
         for p in &pts {
-            assert_eq!(p.cred_size, p.f * l + 2 * p.registers);
+            assert_eq!(
+                p.objectives.cred_size,
+                p.f * l + 2 * p.objectives.cond_registers
+            );
         }
     }
 
     #[test]
-    fn pareto_removes_dominated_points() {
+    fn maxlive_matches_the_schedule_replay_oracle() {
+        let g = sample();
+        for p in sweep_reference(&g, 3, 60, DecMode::Bulk) {
+            // Recompute the plan's projected retiming independently and
+            // replay its kernel by brute-force interval simulation.
+            let u = unfold(&g, p.f);
+            let opt = min_period_retiming(&u.graph);
+            let r_f = min_span_retiming(&u.graph, opt.period).unwrap();
+            let r_f = compact_values(&u.graph, opt.period, &r_f);
+            let projected = project_retiming(&u, &r_f);
+            let sched = KernelSchedule::sequential(&g, &projected, p.f);
+            assert_eq!(p.objectives.maxlive, sched.replay_maxlive(), "f = {}", p.f);
+        }
+    }
+
+    #[test]
+    fn frontier_removes_dominated_points() {
         let g = sample();
         let pts = sweep_reference(&g, 4, 60, DecMode::Bulk);
-        let front = pareto(&pts);
+        let front = frontier(&pts, None);
         assert!(!front.is_empty());
         assert!(front.len() <= pts.len());
-        // No two frontier points dominate each other.
+        // No frontier point dominates another frontier point.
+        for a in &front {
+            for b in &front {
+                assert!(!b.objectives.dominates(&a.objectives));
+            }
+        }
+        // Every dropped point is dominated by some surviving point.
+        for p in &pts {
+            if !front.contains(p) {
+                assert!(front.iter().any(|q| q.objectives.dominates(&p.objectives)));
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_register_cap_restricts_and_never_helps_period() {
+        let g = sample();
+        let pts = sweep_reference(&g, 4, 60, DecMode::Bulk);
+        let caps: Vec<usize> = pts.iter().map(|p| p.objectives.total_registers()).collect();
+        let tight = *caps.iter().min().unwrap();
+        let capped = frontier(&pts, Some(tight));
+        for p in &capped {
+            assert!(p.objectives.total_registers() <= tight);
+        }
+        // Tightening the cap can only lose configurations, so the best
+        // achievable period is monotone in the cap.
+        let best = |front: &[ParetoPoint]| {
+            front
+                .iter()
+                .map(|p| p.objectives.iteration_period)
+                .min()
+                .unwrap()
+        };
+        let unlimited = frontier(&pts, None);
+        assert!(best(&unlimited) <= best(&capped));
+        // An impossible cap empties the frontier.
+        assert!(frontier(&pts, Some(0)).is_empty());
+    }
+
+    #[test]
+    fn legacy_pareto_adapter_matches_two_axis_rule() {
+        #![allow(deprecated)]
+        let g = sample();
+        let pts = sweep_reference(&g, 4, 60, DecMode::Bulk);
+        let flat: Vec<TradeoffPoint> = pts.iter().map(TradeoffPoint::from).collect();
+        let front = pareto(&flat);
+        assert!(!front.is_empty());
         for a in &front {
             for b in &front {
                 assert!(!(b.cred_size < a.cred_size && b.iteration_period < a.iteration_period));
             }
         }
+        // The flat adapter preserves every surviving field.
+        assert_eq!(flat[0].cred_size, pts[0].objectives.cred_size);
+        assert_eq!(flat[0].registers, pts[0].objectives.cond_registers);
     }
 
     #[test]
@@ -534,10 +748,10 @@ mod tests {
         let l = g.node_count();
         // Budget for about two bodies: factor 1 (maybe 2) only.
         let p = best_under_code_budget(&g, 2 * l + 4, 4, 60, DecMode::Bulk).unwrap();
-        assert!(p.cred_size <= 2 * l + 4);
+        assert!(p.objectives.cred_size <= 2 * l + 4);
         // An enormous budget admits the best (f = 4) period.
         let q = best_under_code_budget(&g, 100 * l, 4, 60, DecMode::Bulk).unwrap();
-        assert!(q.iteration_period <= p.iteration_period);
+        assert!(q.objectives.iteration_period <= p.objectives.iteration_period);
     }
 
     #[test]
@@ -551,14 +765,14 @@ mod tests {
         let g = sample();
         for p_max in 1..=4 {
             if let Some(p) = best_under_register_budget(&g, p_max, 3, 60, DecMode::Bulk) {
-                assert!(p.registers <= p_max, "budget {p_max}");
+                assert!(p.objectives.cond_registers <= p_max, "budget {p_max}");
             }
         }
         // More registers never hurt the achievable period.
         let p1 = best_under_register_budget(&g, 1, 3, 60, DecMode::Bulk);
         let p4 = best_under_register_budget(&g, 4, 3, 60, DecMode::Bulk);
         if let (Some(a), Some(b)) = (p1, p4) {
-            assert!(b.iteration_period <= a.iteration_period);
+            assert!(b.objectives.iteration_period <= a.objectives.iteration_period);
         }
     }
 

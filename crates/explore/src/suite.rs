@@ -15,15 +15,19 @@ use cred_dfg::Dfg;
 
 use crate::api::{point_json, ExploreOptions, ExploreRequest};
 use crate::cache::SweepCache;
-use crate::TradeoffPoint;
+use crate::ParetoPoint;
 
 /// JSON schema version stamped into [`SuiteReport::to_json`] and into
 /// every `cred-service` response. Bump only with a compat plan: v2 adds
 /// the optional `machine` request parameter and the `exact` response
 /// object (absent unless a machine was named, so v1 readers that ignore
-/// unknown keys keep working); the committed golden files replay against
-/// whatever claims the current version.
-pub const SCHEMA_VERSION: u32 = 2;
+/// unknown keys keep working); v3 replaces the flat per-point fields
+/// with a nested `objectives` object (adding `maxlive`) and renames the
+/// response's `pareto` array to `frontier` (now non-dominated over four
+/// axes) — v2 readers keep working through the service's compatibility
+/// path, which answers `"schema_version": 2` requests byte-identically
+/// to a v2 server; the committed golden files replay against both.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The sweep of one kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,7 +37,7 @@ pub struct KernelReport {
     /// Nodes in the kernel's DFG.
     pub nodes: usize,
     /// One point per unfolding factor `1..=max_f`.
-    pub points: Vec<TradeoffPoint>,
+    pub points: Vec<ParetoPoint>,
 }
 
 /// The full suite run: inputs, per-kernel sweeps, and cache statistics.
@@ -97,8 +101,7 @@ pub fn explore_suite(
         n,
         mode,
         threads,
-        strict: false,
-        machine: None,
+        ..ExploreOptions::default()
     };
     let reports = kernels
         .iter()

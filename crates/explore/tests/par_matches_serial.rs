@@ -14,7 +14,15 @@ use cred_codegen::DecMode;
 use cred_dfg::gen::{self, RandomDfgConfig};
 use cred_explore::cache::SweepCache;
 use cred_explore::suite::load_kernels;
-use cred_explore::{par_sweep, par_sweep_with, sweep, sweep_cached, sweep_reference};
+use cred_explore::{
+    par_sweep, par_sweep_with, sweep, sweep_cached, sweep_reference, TradeoffPoint,
+};
+
+/// The wrappers speak the legacy flat point type; project the reference
+/// sweep into it for comparison.
+fn flat(points: &[cred_explore::ParetoPoint]) -> Vec<TradeoffPoint> {
+    points.iter().map(TradeoffPoint::from).collect()
+}
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -38,7 +46,7 @@ proptest! {
                 ..Default::default()
             },
         );
-        let serial = sweep_reference(&g, max_f, 60, DecMode::Bulk);
+        let serial = flat(&sweep_reference(&g, max_f, 60, DecMode::Bulk));
         let wrapped = sweep(&g, max_f, 60, DecMode::Bulk);
         prop_assert_eq!(&serial, &wrapped);
         let parallel = par_sweep(&g, max_f, 60, DecMode::Bulk, threads);
@@ -73,7 +81,7 @@ fn par_sweep_matches_sweep_on_all_bundled_kernels() {
     assert_eq!(kernels.len(), 10);
     let cache = SweepCache::new();
     for (name, g) in &kernels {
-        let serial = sweep_reference(g, 3, 100, DecMode::Bulk);
+        let serial = flat(&sweep_reference(g, 3, 100, DecMode::Bulk));
         assert_eq!(serial, sweep(g, 3, 100, DecMode::Bulk), "kernel {name}");
         for threads in [1, 2, 4, 8] {
             let parallel = par_sweep_with(g, 3, 100, DecMode::Bulk, threads, &cache);

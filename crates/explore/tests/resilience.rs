@@ -6,8 +6,9 @@
 //! plan under the process-global install lock, which also serializes the
 //! tests against each other.
 //!
-//! The sweeps here go through the deprecated wrappers on purpose: they
-//! are the wrappers' own tests, pinning them to the engine until removal.
+//! These tests double as the pinning suite for the deprecated
+//! `par_sweep_resilient` wrapper (fault injection needs its explicit
+//! cache + budget plumbing), hence the blanket allow.
 
 #![allow(deprecated)]
 
@@ -17,7 +18,7 @@ use std::time::Duration;
 use cred_codegen::DecMode;
 use cred_dfg::gen;
 use cred_explore::cache::{compute_plan, SweepCache};
-use cred_explore::{par_sweep_resilient, par_sweep_with, PointStatus};
+use cred_explore::{par_sweep_resilient, sweep_reference, ParetoPoint, PointStatus};
 use cred_resilience::failpoint::{install, sites, ChaosPlan, FaultAction};
 use cred_resilience::{Budget, DegradeCause};
 
@@ -26,8 +27,8 @@ fn sample() -> cred_dfg::Dfg {
 }
 
 /// The expected (fault-free) sweep, for bit-identical comparison.
-fn expected_points(g: &cred_dfg::Dfg, max_f: usize) -> Vec<cred_explore::TradeoffPoint> {
-    par_sweep_with(g, max_f, 60, DecMode::Bulk, 1, &SweepCache::new())
+fn expected_points(g: &cred_dfg::Dfg, max_f: usize) -> Vec<ParetoPoint> {
+    sweep_reference(g, max_f, 60, DecMode::Bulk)
 }
 
 #[test]

@@ -17,15 +17,20 @@
 //! * [`vliw`] — VLIW word packing, used to check that the `setup` /
 //!   decrement instructions CRED inserts fit into free slots of the long
 //!   instruction words ("code size reduction does not hurt the performance
-//!   of an optimized loop", paper §3.2).
+//!   of an optimized loop", paper §3.2);
+//! * [`maxlive`] — steady-state data-register pressure of a cyclic
+//!   kernel schedule (sequential retime+unfold kernels and exact modulo
+//!   schedules), the fourth objective of the explore frontier.
 
 pub mod list;
+pub mod maxlive;
 pub mod modulo;
 pub mod resources;
 pub mod rotation;
 pub mod vliw;
 
 pub use list::{asap_schedule, list_schedule, StaticSchedule};
+pub use maxlive::{KernelSchedule, MaxliveReport};
 pub use modulo::{modulo_schedule, ModuloSchedule};
 pub use resources::{fu_kind, FuConfig, FuKind};
 pub use rotation::{rotation_schedule, RotationResult};

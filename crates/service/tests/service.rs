@@ -29,7 +29,7 @@ fn ping_echoes_the_id() {
     let server = TestServer::spawn(|_| {});
     let resp = server.request("{\"type\":\"ping\",\"id\":\"abc\"}");
     assert!(resp.contains("\"ok\":true"), "{resp}");
-    assert!(resp.contains("\"schema_version\":2"), "{resp}");
+    assert!(resp.contains("\"schema_version\":3"), "{resp}");
     assert!(resp.contains("\"id\":\"abc\""), "{resp}");
     assert!(resp.contains("\"type\":\"pong\""), "{resp}");
     // Integer ids are echoed as integers.
@@ -80,6 +80,14 @@ fn malformed_requests_get_typed_protocol_errors_not_hangups() {
             "deadline_ms must be",
         ),
         (
+            "{\"type\":\"explore\",\"kernel\":\"figure3\",\"schema_version\":1}",
+            "schema_version must be",
+        ),
+        (
+            "{\"type\":\"explore\",\"kernel\":\"figure3\",\"max_registers\":\"lots\"}",
+            "max_registers must be",
+        ),
+        (
             "{\"type\":\"explore\",\"source\":\"not a kernel\"}",
             "\"code\":\"parse\"",
         ),
@@ -106,7 +114,7 @@ fn explore_matches_the_cold_run_and_reuses_the_cache() {
         "points must match the cold run:\n{resp}"
     );
     assert!(resp.contains("\"coalesced\":false"), "{resp}");
-    assert!(resp.contains("\"pareto\":["), "{resp}");
+    assert!(resp.contains("\"frontier\":["), "{resp}");
     assert!(resp.contains("\"degraded\":[]"), "{resp}");
     assert!(resp.contains("\"failed\":[]"), "{resp}");
     // Same request again: answered from the shared cache, same bits.

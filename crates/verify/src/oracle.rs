@@ -38,6 +38,7 @@ use cred_exact::{check as exact_check, exact_schedule_budgeted};
 use cred_explore::cache::compute_plan;
 use cred_resilience::Budget;
 use cred_retime::min_period_retiming;
+use cred_schedule::KernelSchedule;
 use cred_unfold::unfold;
 use cred_vm::{execute, execute_tape, trace_loop, value_diff, DiffReport};
 use std::fmt;
@@ -78,6 +79,9 @@ pub enum FailureKind {
     /// schedule, broken II ladder, bogus infeasibility witness, or a
     /// period diverging from the retiming solvers.
     Exact,
+    /// The closed-form maxlive (register pressure) of a kernel schedule
+    /// disagrees with the brute-force live-interval replay.
+    Maxlive,
 }
 
 /// A rejected case: which program, which oracle layer, and a rendered
@@ -268,14 +272,14 @@ fn verify_program(
 }
 
 /// Layer 5: reschedule the kernel exactly under the case's machine model
-/// and re-validate everything the solver claims. Returns the proven II
-/// and the [`ProgramReport`] of the pipelined program generated from the
-/// exact schedule's stage retiming (executed through layers 1–4).
+/// and re-validate everything the solver claims. Returns the proven
+/// schedule and the [`ProgramReport`] of the pipelined program generated
+/// from its stage retiming (executed through layers 1–4).
 fn check_exact(
     case: &Case,
     reference: &[Vec<i64>],
     executor: Executor,
-) -> Result<(u64, ProgramReport), VerifyFailure> {
+) -> Result<(cred_exact::ExactSchedule, ProgramReport), VerifyFailure> {
     let g = &case.graph;
     let m = &case.machine;
     let fail = |detail: String| VerifyFailure {
@@ -342,7 +346,48 @@ fn check_exact(
     p.name = "exact-pipelined".into();
     let expect = ExpectedCounts::pipelined(g, &r, case.n);
     let report = verify_program(case, &p, &expect, reference, executor, false)?;
-    Ok((sched.ii, report))
+    Ok((sched, report))
+}
+
+/// Maxlive layer: the closed-form steady-state register-pressure count
+/// (the fourth explore objective) must agree with an explicit
+/// live-interval replay on the same kernel schedule — both for the
+/// production retime+unfold sequential kernel and for the exact modulo
+/// schedule when one exists.
+fn check_maxlive(
+    case: &Case,
+    exact: Option<&cred_exact::ExactSchedule>,
+) -> Result<(), VerifyFailure> {
+    let g = &case.graph;
+    let fail = |detail: String| VerifyFailure {
+        program: "maxlive".into(),
+        kind: FailureKind::Maxlive,
+        detail,
+    };
+    if case.order == TransformOrder::RetimeUnfold {
+        let r = compute_plan(g, case.f).projected;
+        let k = KernelSchedule::sequential(g, &r, case.f);
+        let closed = k.maxlive().maxlive;
+        let replayed = k.replay_maxlive();
+        if closed != replayed {
+            return Err(fail(format!(
+                "sequential kernel (f = {}): closed-form maxlive {closed} != replayed {replayed}",
+                case.f
+            )));
+        }
+    }
+    if let Some(sched) = exact {
+        let k = KernelSchedule::modulo(g, &sched.slot, &sched.stage, sched.ii);
+        let closed = k.maxlive().maxlive;
+        let replayed = k.replay_maxlive();
+        if closed != replayed {
+            return Err(fail(format!(
+                "modulo kernel (II = {}): closed-form maxlive {closed} != replayed {replayed}",
+                sched.ii
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn check_theorems(case: &Case) -> Result<(), VerifyFailure> {
@@ -429,10 +474,11 @@ fn verify_case_with(
     // a program mutator cannot reach them — skip both under mutation
     // (the exact layer has its own mutation hook inside the solver).
     let exact_ii = if mutate.is_none() {
-        let (ii, exact_report) = check_exact(case, &reference, executor)?;
+        let (sched, exact_report) = check_exact(case, &reference, executor)?;
         reports.push(exact_report);
+        check_maxlive(case, Some(&sched))?;
         check_theorems(case)?;
-        ii
+        sched.ii
     } else {
         0
     };

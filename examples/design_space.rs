@@ -8,11 +8,11 @@
 //! A designer has a code-size budget (instruction memory) and a predicate-
 //! register budget, and wants the fastest schedule that fits. This example
 //! sweeps unfolding factors on the elliptic wave filter, prints the
-//! Pareto frontier of (code size, iteration period), and answers both
-//! budget queries.
+//! four-axis Pareto frontier (code size, iteration period, conditional
+//! registers, maxlive), and answers both budget queries.
 
 use cred::codegen::DecMode;
-use cred::explore::{best_under_code_budget, best_under_register_budget, pareto, ExploreRequest};
+use cred::explore::{best_under_code_budget, best_under_register_budget, ExploreRequest};
 use cred::kernels::elliptic_filter;
 
 fn main() {
@@ -24,37 +24,39 @@ fn main() {
         cred::dfg::algo::iteration_bound(&g).unwrap()
     );
 
-    let points = ExploreRequest::new(g.clone())
+    let resp = ExploreRequest::new(g.clone())
         .max_f(5)
         .trip_count(n)
         .run()
-        .expect("unlimited sweep")
-        .points;
+        .expect("unlimited sweep");
     println!(
-        "{:>3} {:>5} {:>11} {:>10} {:>17} {:>10}",
-        "f", "M_r", "plain size", "CRED size", "iteration period", "registers"
+        "{:>3} {:>5} {:>11} {:>10} {:>17} {:>6} {:>8}",
+        "f", "M_r", "plain size", "CRED size", "iteration period", "P_r", "maxlive"
     );
-    for p in &points {
+    for p in &resp.points {
+        let o = &p.objectives;
         println!(
-            "{:>3} {:>5} {:>11} {:>10} {:>17} {:>10}",
+            "{:>3} {:>5} {:>11} {:>10} {:>17} {:>6} {:>8}",
             p.f,
             p.m_r,
             p.plain_size,
-            p.cred_size,
+            o.cred_size,
             format!(
                 "{} = {:.2}",
-                p.iteration_period,
-                p.iteration_period.to_f64()
+                o.iteration_period,
+                o.iteration_period.to_f64()
             ),
-            p.registers
+            o.cond_registers,
+            o.maxlive
         );
     }
 
-    println!("\nPareto frontier (CRED size vs iteration period):");
-    for p in pareto(&points) {
+    println!("\nPareto frontier (size, period, cond registers, maxlive):");
+    for p in &resp.frontier {
+        let o = &p.objectives;
         println!(
-            "  f = {}: {} instructions at period {}",
-            p.f, p.cred_size, p.iteration_period
+            "  f = {}: {} instructions at period {}, {} cond registers, maxlive {}",
+            p.f, o.cred_size, o.iteration_period, o.cond_registers, o.maxlive
         );
     }
 
@@ -62,7 +64,7 @@ fn main() {
         match best_under_code_budget(&g, budget, 5, n, DecMode::Bulk) {
             Some(p) => println!(
                 "\nbudget {budget:>4} instructions -> f = {}, CRED size {}, period {}",
-                p.f, p.cred_size, p.iteration_period
+                p.f, p.objectives.cred_size, p.objectives.iteration_period
             ),
             None => println!("\nbudget {budget:>4} instructions -> infeasible"),
         }
@@ -72,7 +74,7 @@ fn main() {
         match best_under_register_budget(&g, regs, 4, n, DecMode::Bulk) {
             Some(p) => println!(
                 "register budget {regs} -> f = {}, period {}, uses {} registers",
-                p.f, p.iteration_period, p.registers
+                p.f, p.objectives.iteration_period, p.objectives.cond_registers
             ),
             None => println!("register budget {regs} -> infeasible"),
         }
